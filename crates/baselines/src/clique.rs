@@ -1,0 +1,352 @@
+//! CLIQUE — automatic subspace clustering (Agrawal et al., SIGMOD 1998).
+//!
+//! The canonical bottom-up method: partition every axis into `ξ` equal
+//! intervals, call a grid unit *dense* when it holds at least a `τ` fraction
+//! of the points, and grow dense units Apriori-style — a unit in a
+//! `q`-dimensional subspace can only be dense if all its `(q−1)`-dimensional
+//! projections are. Clusters are connected components of dense units inside
+//! each maximal dense subspace.
+//!
+//! CLIQUE's clusters may overlap across subspaces; the shared output type
+//! requires a partition, so points are assigned greedily to the cluster of
+//! the highest-dimensional subspace (ties: larger cluster) that contains
+//! them. The exponential growth in subspace dimensionality the MrCC paper
+//! criticizes is bounded here by `max_subspace_dim`.
+
+use std::collections::{HashMap, HashSet};
+
+use mrcc_common::{AxisMask, Dataset, Error, Result, SubspaceCluster, SubspaceClustering};
+
+use crate::SubspaceClusterer;
+
+/// Configuration for [`Clique`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliqueConfig {
+    /// Intervals per axis `ξ`.
+    pub xi: usize,
+    /// Density threshold `τ`: a unit is dense when it holds `≥ τ·η` points.
+    pub tau: f64,
+    /// Cap on the dimensionality of explored subspaces (tractability guard
+    /// for the Apriori lattice).
+    pub max_subspace_dim: usize,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        CliqueConfig {
+            // A uniform axis puts 1/ξ of the mass in every bin; τ must sit
+            // above that or every 1-d unit is "dense" (the fixed-threshold
+            // weakness the MrCC paper criticizes).
+            xi: 20,
+            tau: 0.08,
+            max_subspace_dim: 4,
+        }
+    }
+}
+
+/// The CLIQUE method.
+#[derive(Debug, Clone, Default)]
+pub struct Clique {
+    config: CliqueConfig,
+}
+
+impl Clique {
+    /// Creates the method.
+    pub fn new(config: CliqueConfig) -> Self {
+        Clique { config }
+    }
+}
+
+/// Dense units of one subspace: unit key (bin per subspace dim) → count.
+type Units = HashMap<Vec<u32>, usize>;
+
+/// Counts dense units of `subspace` in one pass over the points.
+fn dense_units(ds: &Dataset, subspace: &[usize], xi: usize, min_count: usize) -> Units {
+    let mut counts: Units = HashMap::new();
+    let mut key = vec![0u32; subspace.len()];
+    for p in ds.iter() {
+        for (slot, &j) in key.iter_mut().zip(subspace) {
+            *slot = ((p[j] * xi as f64) as usize).min(xi - 1) as u32;
+        }
+        *counts.entry(key.clone()).or_insert(0) += 1;
+    }
+    counts.retain(|_, &mut c| c >= min_count);
+    counts
+}
+
+/// Connected components of dense units (adjacent = differ by one in exactly
+/// one coordinate).
+fn components(units: &Units) -> Vec<Vec<Vec<u32>>> {
+    // Sorted traversal: HashMap iteration order is randomized per instance,
+    // and cluster ids must be deterministic.
+    let mut keys: Vec<&Vec<u32>> = units.keys().collect();
+    keys.sort();
+    let index: HashMap<&Vec<u32>, usize> = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let mut seen = vec![false; keys.len()];
+    let mut comps = Vec::new();
+    for start in 0..keys.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut comp = Vec::new();
+        while let Some(u) = stack.pop() {
+            comp.push(keys[u].clone());
+            let base = keys[u];
+            for dim in 0..base.len() {
+                for delta in [-1i64, 1] {
+                    let nb = base[dim] as i64 + delta;
+                    if nb < 0 {
+                        continue;
+                    }
+                    let mut neighbor = base.clone();
+                    neighbor[dim] = nb as u32;
+                    if let Some(&ni) = index.get(&neighbor) {
+                        if !seen[ni] {
+                            seen[ni] = true;
+                            stack.push(ni);
+                        }
+                    }
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+impl SubspaceClusterer for Clique {
+    fn name(&self) -> &'static str {
+        "CLIQUE"
+    }
+
+    fn fit(&self, ds: &Dataset) -> Result<SubspaceClustering> {
+        if ds.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let cfg = &self.config;
+        if cfg.xi < 2 {
+            return Err(Error::InvalidParameter {
+                name: "xi",
+                message: format!("need at least 2 intervals, got {}", cfg.xi),
+            });
+        }
+        if !(cfg.tau > 0.0 && cfg.tau < 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "tau",
+                message: format!("tau must be in (0,1), got {}", cfg.tau),
+            });
+        }
+        let (n, d) = (ds.len(), ds.dims());
+        let min_count = ((cfg.tau * n as f64).ceil() as usize).max(2);
+
+        // Level 1: dense units per single axis.
+        let mut dense: HashMap<Vec<usize>, Units> = HashMap::new();
+        for j in 0..d {
+            let units = dense_units(ds, &[j], cfg.xi, min_count);
+            if !units.is_empty() {
+                dense.insert(vec![j], units);
+            }
+        }
+
+        // Apriori growth.
+        let mut frontier: Vec<Vec<usize>> = dense.keys().cloned().collect();
+        frontier.sort();
+        let mut level = 1usize;
+        while !frontier.is_empty() && level < cfg.max_subspace_dim.min(d) {
+            level += 1;
+            let mut next: Vec<Vec<usize>> = Vec::new();
+            let frontier_set: HashSet<&Vec<usize>> = frontier.iter().collect();
+            for a in 0..frontier.len() {
+                for b in (a + 1)..frontier.len() {
+                    let (sa, sb) = (&frontier[a], &frontier[b]);
+                    // Join on a shared (level−2)-prefix.
+                    if sa[..level - 2] != sb[..level - 2] {
+                        continue;
+                    }
+                    let mut candidate = sa.clone();
+                    candidate.push(sb[level - 2]);
+                    candidate.sort_unstable();
+                    candidate.dedup();
+                    if candidate.len() != level {
+                        continue;
+                    }
+                    // All (level−1)-subsets must be dense subspaces.
+                    let all_subsets_dense = (0..level).all(|skip| {
+                        let sub: Vec<usize> = candidate
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != skip)
+                            .map(|(_, &v)| v)
+                            .collect();
+                        frontier_set.contains(&sub)
+                    });
+                    if !all_subsets_dense || next.contains(&candidate) {
+                        continue;
+                    }
+                    let units = dense_units(ds, &candidate, cfg.xi, min_count);
+                    if !units.is_empty() {
+                        next.push(candidate.clone());
+                        dense.insert(candidate, units);
+                    }
+                }
+            }
+            next.sort();
+            frontier = next;
+        }
+
+        // Maximal dense subspaces: not a subset of another dense subspace.
+        let subspaces: Vec<&Vec<usize>> = dense.keys().collect();
+        let maximal: Vec<Vec<usize>> = subspaces
+            .iter()
+            .filter(|s| {
+                !subspaces.iter().any(|t| {
+                    t.len() > s.len() && s.iter().all(|j| t.contains(j))
+                })
+            })
+            .map(|s| (*s).clone())
+            .collect();
+
+        // Clusters: components per maximal subspace, assigned greedily by
+        // subspace dimensionality (desc), then component unit count (desc).
+        let mut candidates: Vec<(Vec<usize>, Vec<Vec<u32>>)> = Vec::new();
+        for s in &maximal {
+            for comp in components(&dense[s]) {
+                candidates.push((s.clone(), comp));
+            }
+        }
+        for (_, comp) in candidates.iter_mut() {
+            comp.sort();
+        }
+        candidates.sort_by(|a, b| {
+            b.0.len()
+                .cmp(&a.0.len())
+                .then(b.1.len().cmp(&a.1.len()))
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+
+        let mut taken = vec![false; n];
+        let mut clusters: Vec<SubspaceCluster> = Vec::new();
+        let mut key = Vec::new();
+        for (subspace, comp) in candidates {
+            let unit_set: HashSet<&Vec<u32>> = comp.iter().collect();
+            let mut members = Vec::new();
+            for (i, p) in ds.iter().enumerate() {
+                if taken[i] {
+                    continue;
+                }
+                key.clear();
+                key.extend(
+                    subspace
+                        .iter()
+                        .map(|&j| ((p[j] * cfg.xi as f64) as usize).min(cfg.xi - 1) as u32),
+                );
+                if unit_set.contains(&key) {
+                    members.push(i);
+                }
+            }
+            if members.len() >= min_count {
+                for &i in &members {
+                    taken[i] = true;
+                }
+                clusters.push(SubspaceCluster::new(
+                    members,
+                    AxisMask::from_axes(d, subspace.iter().copied()),
+                ));
+            }
+        }
+        Ok(SubspaceClustering::new(n, d, clusters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut state = 0x51u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = Vec::new();
+        for _ in 0..300 {
+            rows.push([
+                0.22 + 0.04 * (next() - 0.5),
+                0.62 + 0.04 * (next() - 0.5),
+                next() * 0.99,
+            ]);
+        }
+        for _ in 0..100 {
+            rows.push([next() * 0.99, next() * 0.99, next() * 0.99]);
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn finds_the_dense_subspace_cluster() {
+        let ds = blobs();
+        let c = Clique::default().fit(&ds).unwrap();
+        assert!(!c.is_empty());
+        // The dominant cluster should live in the {0,1} subspace and grab
+        // most of the 300 blob points.
+        let big = c
+            .clusters()
+            .iter()
+            .max_by_key(|cl| cl.len())
+            .expect("non-empty");
+        assert!(big.axes.contains(0) && big.axes.contains(1));
+        let blob_members = big.points.iter().filter(|&&i| i < 300).count();
+        assert!(blob_members > 250, "only {blob_members} blob points");
+    }
+
+    #[test]
+    fn uniform_axis_is_not_relevant() {
+        let ds = blobs();
+        let c = Clique::default().fit(&ds).unwrap();
+        let big = c.clusters().iter().max_by_key(|cl| cl.len()).unwrap();
+        assert!(!big.axes.contains(2));
+    }
+
+    #[test]
+    fn tau_too_high_finds_nothing() {
+        let ds = blobs();
+        let c = Clique::new(CliqueConfig {
+            tau: 0.9,
+            ..Default::default()
+        })
+        .fit(&ds)
+        .unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn output_is_a_partition() {
+        let ds = blobs();
+        let c = Clique::default().fit(&ds).unwrap();
+        // SubspaceClustering::new enforces disjointness; also check noise
+        // accounting closes.
+        assert_eq!(c.n_clustered() + c.noise().len(), ds.len());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let ds = blobs();
+        assert!(Clique::new(CliqueConfig {
+            xi: 1,
+            ..Default::default()
+        })
+        .fit(&ds)
+        .is_err());
+        assert!(Clique::new(CliqueConfig {
+            tau: 0.0,
+            ..Default::default()
+        })
+        .fit(&ds)
+        .is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! EPCH — projective clustering by histograms (Ng, Fu, Wong, TKDE 2005).
+//!
+//! The EPC1 variant: build a histogram per axis, locate *dense regions*
+//! (maximal runs of bins whose counts exceed the histogram's mean by a
+//! configurable number of standard deviations), give every point a
+//! *signature* — which dense region (if any) it hits on each axis — and
+//! group points by signature. Signature groups are then merged when
+//! compatible (they never disagree on an axis where both are confined and
+//! they share at least one confined axis), the largest `max_clusters` merged
+//! groups become clusters, and everything below the outlier threshold is
+//! noise. A cluster's relevant axes are those where its signature is
+//! confined to a dense region.
+//!
+//! The original tunes the histogram dimensionality 1–5 and an outlier
+//! threshold in `[0, 1]`; the MrCC paper reports low settings performed
+//! best, and EPC1 keeps the reimplementation transparent.
+
+use std::collections::HashMap;
+
+use mrcc_common::{AxisMask, Dataset, Error, Result, SubspaceCluster, SubspaceClustering};
+
+use crate::SubspaceClusterer;
+
+/// Configuration for [`Epch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpchConfig {
+    /// Maximum number of clusters reported (the paper supplies the true
+    /// count).
+    pub max_clusters: usize,
+    /// Bins per axis histogram.
+    pub bins: usize,
+    /// A bin is dense when its count exceeds `mean + dense_sigmas·σ`.
+    pub dense_sigmas: f64,
+    /// Groups smaller than this fraction of the dataset are outliers.
+    pub outlier_threshold: f64,
+}
+
+impl EpchConfig {
+    /// Defaults matching the original paper's guidance.
+    pub fn new(max_clusters: usize) -> Self {
+        EpchConfig {
+            max_clusters,
+            bins: 20,
+            dense_sigmas: 1.0,
+            outlier_threshold: 0.005,
+        }
+    }
+}
+
+/// The EPCH (EPC1) method.
+#[derive(Debug, Clone)]
+pub struct Epch {
+    config: EpchConfig,
+}
+
+impl Epch {
+    /// Creates the method.
+    pub fn new(config: EpchConfig) -> Self {
+        Epch { config }
+    }
+}
+
+/// Dense regions of one axis: list of `(bin_lo, bin_hi)` inclusive ranges.
+fn dense_regions(ds: &Dataset, axis: usize, bins: usize, sigmas: f64) -> Vec<(usize, usize)> {
+    let mut hist = vec![0usize; bins];
+    for p in ds.iter() {
+        let b = ((p[axis] * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    let mean = ds.len() as f64 / bins as f64;
+    let var = hist
+        .iter()
+        .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+        .sum::<f64>()
+        / bins as f64;
+    let threshold = mean + sigmas * var.sqrt();
+    let mut regions = Vec::new();
+    let mut run: Option<usize> = None;
+    for (b, &c) in hist.iter().enumerate() {
+        if c as f64 > threshold {
+            run.get_or_insert(b);
+        } else if let Some(start) = run.take() {
+            regions.push((start, b - 1));
+        }
+    }
+    if let Some(start) = run {
+        regions.push((start, bins - 1));
+    }
+    regions
+}
+
+/// Signature entry per axis: `Some(region_index)` or `None` (not in any
+/// dense region of that axis).
+type Signature = Vec<Option<u8>>;
+
+/// Two signatures are compatible when they never disagree on an axis where
+/// both are confined, and they share at least one confined axis.
+fn compatible(a: &Signature, b: &Signature) -> bool {
+    let mut shared = false;
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (Some(p), Some(q)) if p != q => return false,
+            (Some(_), Some(_)) => shared = true,
+            _ => {}
+        }
+    }
+    shared
+}
+
+impl SubspaceClusterer for Epch {
+    fn name(&self) -> &'static str {
+        "EPCH"
+    }
+
+    fn fit(&self, ds: &Dataset) -> Result<SubspaceClustering> {
+        if ds.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let cfg = &self.config;
+        if cfg.max_clusters == 0 || cfg.bins < 2 || !(0.0..1.0).contains(&cfg.outlier_threshold) {
+            return Err(Error::InvalidParameter {
+                name: "epch",
+                message: format!(
+                    "max_clusters={} bins={} outlier_threshold={} out of range",
+                    cfg.max_clusters, cfg.bins, cfg.outlier_threshold
+                ),
+            });
+        }
+        let (n, d) = (ds.len(), ds.dims());
+
+        // Per-axis dense regions.
+        let regions: Vec<Vec<(usize, usize)>> = (0..d)
+            .map(|j| dense_regions(ds, j, cfg.bins, cfg.dense_sigmas))
+            .collect();
+
+        // Point signatures.
+        let mut groups: HashMap<Signature, Vec<usize>> = HashMap::new();
+        for (i, p) in ds.iter().enumerate() {
+            let sig: Signature = (0..d)
+                .map(|j| {
+                    let b = ((p[j] * cfg.bins as f64) as usize).min(cfg.bins - 1);
+                    regions[j]
+                        .iter()
+                        .position(|&(lo, hi)| b >= lo && b <= hi)
+                        .map(|r| r as u8)
+                })
+                .collect();
+            if sig.iter().any(Option::is_some) {
+                groups.entry(sig).or_default().push(i);
+            }
+        }
+
+        // Merge compatible groups, largest first (greedy agglomeration of
+        // the signature table).
+        let mut entries: Vec<(Signature, Vec<usize>)> = groups.into_iter().collect();
+        entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
+        let mut merged: Vec<(Signature, Vec<usize>)> = Vec::new();
+        'entry: for (sig, pts) in entries {
+            for (msig, mpts) in merged.iter_mut() {
+                if compatible(msig, &sig) {
+                    // The largest group's signature stays the
+                    // representative; smaller compatible groups (typically
+                    // the same cluster with one axis just missing a dense
+                    // region) are absorbed without eroding it.
+                    mpts.extend(pts);
+                    continue 'entry;
+                }
+            }
+            merged.push((sig, pts));
+        }
+
+        // Largest groups become clusters; small groups are outliers.
+        merged.sort_by_key(|(_, pts)| std::cmp::Reverse(pts.len()));
+        let min_size = ((cfg.outlier_threshold * n as f64).ceil() as usize).max(2);
+        let clusters: Vec<SubspaceCluster> = merged
+            .into_iter()
+            .take(cfg.max_clusters)
+            .filter(|(sig, pts)| pts.len() >= min_size && sig.iter().any(Option::is_some))
+            .map(|(sig, pts)| {
+                let mask = AxisMask::from_bools(
+                    &sig.iter().map(Option::is_some).collect::<Vec<_>>(),
+                );
+                SubspaceCluster::new(pts, mask)
+            })
+            .collect();
+        Ok(SubspaceClustering::new(n, d, clusters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut state = 0xE9C4u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = Vec::new();
+        for _ in 0..250 {
+            rows.push([
+                0.20 + 0.03 * (next() - 0.5),
+                next() * 0.99,
+                0.70 + 0.03 * (next() - 0.5),
+            ]);
+            rows.push([
+                0.80 + 0.03 * (next() - 0.5),
+                0.30 + 0.03 * (next() - 0.5),
+                next() * 0.99,
+            ]);
+        }
+        for _ in 0..100 {
+            rows.push([next() * 0.99, next() * 0.99, next() * 0.99]);
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_two_projected_clusters() {
+        let ds = blobs();
+        let c = Epch::new(EpchConfig::new(2)).fit(&ds).unwrap();
+        assert_eq!(c.len(), 2);
+        for cl in c.clusters() {
+            let even = cl.points.iter().filter(|&&i| i < 500 && i % 2 == 0).count();
+            let odd = cl.points.iter().filter(|&&i| i < 500 && i % 2 == 1).count();
+            let purity = even.max(odd) as f64 / (even + odd).max(1) as f64;
+            assert!(purity > 0.9, "purity {purity}");
+        }
+    }
+
+    #[test]
+    fn signatures_mark_confined_axes() {
+        let ds = blobs();
+        let c = Epch::new(EpchConfig::new(2)).fit(&ds).unwrap();
+        let masks: Vec<AxisMask> = c.clusters().iter().map(|cl| cl.axes).collect();
+        assert!(masks.iter().any(|m| m.contains(0) && m.contains(2)));
+        assert!(masks.iter().any(|m| m.contains(0) && m.contains(1)));
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        let a: Signature = vec![Some(0), None, Some(1)];
+        let b: Signature = vec![Some(0), Some(2), None];
+        let c: Signature = vec![Some(1), None, Some(1)];
+        let d: Signature = vec![None, Some(2), None];
+        assert!(compatible(&a, &b)); // agree on axis 0
+        assert!(!compatible(&a, &c)); // disagree on axis 0
+        assert!(!compatible(&a, &d)); // no shared confined axis
+    }
+
+    #[test]
+    fn max_clusters_caps_output() {
+        let ds = blobs();
+        let c = Epch::new(EpchConfig::new(1)).fit(&ds).unwrap();
+        assert!(c.len() <= 1);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let ds = blobs();
+        assert!(Epch::new(EpchConfig::new(0)).fit(&ds).is_err());
+        let mut cfg = EpchConfig::new(2);
+        cfg.bins = 1;
+        assert!(Epch::new(cfg).fit(&ds).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Substrate for the projected-clustering baselines (LAC is a weighted
+//! k-means; PROCLUS is a k-medoid relative). Deterministic given the seed.
+
+use mrcc_common::{Dataset, Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of centroids `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tolerance: f64,
+    /// RNG seed for the k-means++ seeding.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            tolerance: 1e-6,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Final centroids, row-major `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding: first centroid uniform, the rest proportional to the
+/// squared distance to the nearest chosen centroid.
+fn seed_centroids(ds: &Dataset, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = ds.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(ds.point(rng.gen_range(0..n)).to_vec());
+    let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(ds.point(i), &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.push(ds.point(chosen).to_vec());
+        let c = centroids.last().expect("just pushed");
+        for (slot, p) in dist2.iter_mut().zip(ds.iter()) {
+            let d = sq_dist(p, c);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Runs k-means.
+///
+/// # Errors
+/// [`Error::InvalidParameter`] when `k` is 0 or exceeds the number of points;
+/// [`Error::EmptyDataset`] on an empty dataset.
+pub fn kmeans(ds: &Dataset, config: &KMeansConfig) -> Result<KMeansResult> {
+    if ds.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    if config.k == 0 || config.k > ds.len() {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            message: format!("k={} invalid for {} points", config.k, ds.len()),
+        });
+    }
+    let (n, d, k) = (ds.len(), ds.dims(), config.k);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = seed_centroids(ds, k, &mut rng);
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assign.
+        for (i, p) in ds.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let dist = sq_dist(p, centroid);
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in ds.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for j in 0..d {
+                sums[c][j] += p[j];
+            }
+        }
+        let mut movement = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty centroid at a random point.
+                centroids[c] = ds.point(rng.gen_range(0..n)).to_vec();
+                movement += 1.0;
+                continue;
+            }
+            for slot in sums[c].iter_mut() {
+                *slot /= counts[c] as f64;
+            }
+            movement += sq_dist(&sums[c], &centroids[c]).sqrt();
+            centroids[c] = std::mem::take(&mut sums[c]);
+        }
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    let inertia = ds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignment[i]]))
+        .sum();
+    Ok(KMeansResult {
+        assignment,
+        centroids,
+        iterations,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 500.0;
+            rows.push([0.2 + t, 0.2 - t]);
+            rows.push([0.8 - t, 0.8 + t * 0.5]);
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let ds = two_blobs();
+        let r = kmeans(&ds, &KMeansConfig::new(2)).unwrap();
+        // All even indices together, all odd together.
+        let c0 = r.assignment[0];
+        let c1 = r.assignment[1];
+        assert_ne!(c0, c1);
+        for i in 0..ds.len() {
+            assert_eq!(r.assignment[i], if i % 2 == 0 { c0 } else { c1 });
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = two_blobs();
+        let a = kmeans(&ds, &KMeansConfig::new(2)).unwrap();
+        let b = kmeans(&ds, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let ds = Dataset::from_rows(&[[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]]).unwrap();
+        let r = kmeans(&ds, &KMeansConfig::new(3)).unwrap();
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let ds = two_blobs();
+        assert!(kmeans(&ds, &KMeansConfig::new(0)).is_err());
+        assert!(kmeans(&ds, &KMeansConfig::new(ds.len() + 1)).is_err());
+        assert!(kmeans(&Dataset::new(2).unwrap(), &KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let ds = two_blobs();
+        let r1 = kmeans(&ds, &KMeansConfig::new(1)).unwrap();
+        let r4 = kmeans(&ds, &KMeansConfig::new(4)).unwrap();
+        assert!(r4.inertia <= r1.inertia);
+    }
+}

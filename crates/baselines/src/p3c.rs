@@ -1,0 +1,337 @@
+//! P3C — projected clustering via cluster cores (Moise, Sander, Ester,
+//! KAIS 2008).
+//!
+//! The statistical pipeline of the original, without its final EM polish
+//! (documented in DESIGN.md):
+//!
+//! 1. **Relevant intervals** — per axis, Sturges-binned histogram; bins are
+//!    marked iteratively while the *remaining* bins fail a uniformity
+//!    chi-square check (the original's support-truncation idea is captured
+//!    by marking bins whose count exceeds the uniform expectation's
+//!    one-sided Poisson critical value). Adjacent marked bins merge into
+//!    intervals.
+//! 2. **Cluster cores** — Apriori combination of intervals across axes: a
+//!    `(q+1)`-signature survives when its observed support is significantly
+//!    larger (one-sided Poisson test at `poisson_threshold`) than expected
+//!    from the `q`-signature times the interval's marginal fraction.
+//! 3. **Assignment** — every point joins the highest-dimensional core whose
+//!    every interval contains it; unassigned points are noise.
+//!
+//! The one tuning knob is the Poisson threshold, which the MrCC paper sweeps
+//! over `{1e−1 … 1e−15}`.
+
+use mrcc_common::{AxisMask, Dataset, Error, Result, SubspaceCluster, SubspaceClustering};
+use mrcc_stats::poisson::Poisson;
+
+use crate::SubspaceClusterer;
+
+/// Configuration for [`P3c`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct P3cConfig {
+    /// One-sided Poisson significance threshold for interval and core
+    /// support tests.
+    pub poisson_threshold: f64,
+    /// Cap on core dimensionality (Apriori tractability guard).
+    pub max_core_dim: usize,
+    /// Cap on the number of candidate cores kept per Apriori level. The
+    /// lattice grows combinatorially with dimensionality (the behaviour
+    /// behind P3C's week-long runtimes in the MrCC paper); when a level
+    /// exceeds the cap, only the highest-support cores survive.
+    pub max_cores_per_level: usize,
+}
+
+impl Default for P3cConfig {
+    fn default() -> Self {
+        P3cConfig {
+            poisson_threshold: 1e-4,
+            max_core_dim: 8,
+            max_cores_per_level: 10_000,
+        }
+    }
+}
+
+/// The P3C method.
+#[derive(Debug, Clone, Default)]
+pub struct P3c {
+    config: P3cConfig,
+}
+
+impl P3c {
+    /// Creates the method.
+    pub fn new(config: P3cConfig) -> Self {
+        P3c { config }
+    }
+}
+
+/// A relevant interval on one axis, in normalized coordinates.
+#[derive(Debug, Clone, PartialEq)]
+struct Interval {
+    axis: usize,
+    lo: f64,
+    hi: f64, // exclusive
+}
+
+impl Interval {
+    fn contains(&self, p: &[f64]) -> bool {
+        p[self.axis] >= self.lo && p[self.axis] < self.hi
+    }
+}
+
+/// Sturges bin count.
+fn sturges(n: usize) -> usize {
+    (1.0 + (n as f64).log2()).ceil() as usize
+}
+
+/// Marks significantly dense bins of one axis and merges runs into
+/// intervals.
+fn relevant_intervals(ds: &Dataset, axis: usize, threshold: f64) -> Vec<Interval> {
+    let n = ds.len();
+    let bins = sturges(n).max(2);
+    let mut hist = vec![0usize; bins];
+    for p in ds.iter() {
+        let b = ((p[axis] * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    let expected = n as f64 / bins as f64;
+    let dist = Poisson::new(expected);
+    // A bin is marked when observing its count (or more) under the uniform
+    // expectation is rarer than the threshold.
+    let marked: Vec<bool> = hist.iter().map(|&c| dist.sf(c as u64) < threshold).collect();
+    let width = 1.0 / bins as f64;
+    let mut intervals = Vec::new();
+    let mut run: Option<usize> = None;
+    for (b, &m) in marked.iter().enumerate() {
+        if m {
+            run.get_or_insert(b);
+        } else if let Some(start) = run.take() {
+            intervals.push(Interval {
+                axis,
+                lo: start as f64 * width,
+                hi: b as f64 * width,
+            });
+        }
+    }
+    if let Some(start) = run {
+        intervals.push(Interval {
+            axis,
+            lo: start as f64 * width,
+            hi: 1.0 + 1e-12,
+        });
+    }
+    intervals
+}
+
+/// A cluster core: one interval on each of a set of axes.
+#[derive(Debug, Clone)]
+struct Core {
+    intervals: Vec<Interval>,
+    support: Vec<usize>,
+}
+
+impl SubspaceClusterer for P3c {
+    fn name(&self) -> &'static str {
+        "P3C"
+    }
+
+    fn fit(&self, ds: &Dataset) -> Result<SubspaceClustering> {
+        if ds.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let cfg = &self.config;
+        if !(cfg.poisson_threshold > 0.0 && cfg.poisson_threshold < 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "poisson_threshold",
+                message: format!("must be in (0,1), got {}", cfg.poisson_threshold),
+            });
+        }
+        let (n, d) = (ds.len(), ds.dims());
+
+        // Phase 1: relevant intervals per axis + marginal fractions.
+        let mut all_intervals: Vec<Interval> = Vec::new();
+        for j in 0..d {
+            all_intervals.extend(relevant_intervals(ds, j, cfg.poisson_threshold));
+        }
+        if all_intervals.is_empty() {
+            return Ok(SubspaceClustering::empty(n, d));
+        }
+        let fraction: Vec<f64> = all_intervals
+            .iter()
+            .map(|iv| ds.iter().filter(|p| iv.contains(p)).count() as f64 / n as f64)
+            .collect();
+
+        // Phase 2: Apriori growth of cores. Level 1 = single intervals.
+        let mut cores: Vec<Core> = all_intervals
+            .iter()
+            .map(|iv| Core {
+                intervals: vec![iv.clone()],
+                support: (0..n).filter(|&i| iv.contains(ds.point(i))).collect(),
+            })
+            .collect();
+        let mut frontier: Vec<Core> = cores.clone();
+        let mut level = 1usize;
+        while !frontier.is_empty() && level < cfg.max_core_dim.min(d) {
+            level += 1;
+            let mut next: Vec<Core> = Vec::new();
+            for core in &frontier {
+                let max_axis = core
+                    .intervals
+                    .last()
+                    .expect("cores are non-empty")
+                    .axis;
+                for (iv, &frac) in all_intervals.iter().zip(&fraction) {
+                    if iv.axis <= max_axis {
+                        continue; // grow in axis order → no duplicates
+                    }
+                    let support: Vec<usize> = core
+                        .support
+                        .iter()
+                        .copied()
+                        .filter(|&i| iv.contains(ds.point(i)))
+                        .collect();
+                    if support.len() < 2 {
+                        continue;
+                    }
+                    // Expected support if the interval were independent of
+                    // the core; reject independence one-sided.
+                    let expected = core.support.len() as f64 * frac;
+                    if expected <= 0.0 {
+                        continue;
+                    }
+                    let sig = Poisson::new(expected).sf(support.len() as u64);
+                    if sig < cfg.poisson_threshold {
+                        let mut intervals = core.intervals.clone();
+                        intervals.push(iv.clone());
+                        next.push(Core { intervals, support });
+                    }
+                }
+            }
+            if next.len() > cfg.max_cores_per_level {
+                next.sort_by_key(|core| std::cmp::Reverse(core.support.len()));
+                next.truncate(cfg.max_cores_per_level);
+            }
+            cores.extend(next.iter().cloned());
+            frontier = next;
+        }
+
+        // Phase 3: assign each point to the highest-dimensional core that
+        // contains it (ties: larger support), as a disjoint partition.
+        cores.sort_by(|a, b| {
+            b.intervals
+                .len()
+                .cmp(&a.intervals.len())
+                .then(b.support.len().cmp(&a.support.len()))
+        });
+        let mut taken = vec![false; n];
+        let mut clusters = Vec::new();
+        for core in &cores {
+            if core.intervals.len() < 2 {
+                continue; // 1-d cores are too weak to report as clusters
+            }
+            let members: Vec<usize> = core
+                .support
+                .iter()
+                .copied()
+                .filter(|&i| !taken[i])
+                .collect();
+            if members.len() < 8 {
+                continue;
+            }
+            for &i in &members {
+                taken[i] = true;
+            }
+            let mask = AxisMask::from_axes(d, core.intervals.iter().map(|iv| iv.axis));
+            clusters.push(SubspaceCluster::new(members, mask));
+        }
+        Ok(SubspaceClustering::new(n, d, clusters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut state = 0x93Cu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = Vec::new();
+        for _ in 0..400 {
+            rows.push([
+                0.25 + 0.03 * (next() - 0.5),
+                0.65 + 0.03 * (next() - 0.5),
+                next() * 0.99,
+                next() * 0.99,
+            ]);
+        }
+        for _ in 0..150 {
+            rows.push([next() * 0.99, next() * 0.99, next() * 0.99, next() * 0.99]);
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn finds_the_core() {
+        let ds = blobs();
+        let c = P3c::default().fit(&ds).unwrap();
+        assert!(!c.is_empty());
+        let big = c.clusters().iter().max_by_key(|cl| cl.len()).unwrap();
+        assert!(big.axes.contains(0) && big.axes.contains(1));
+        assert!(!big.axes.contains(2) && !big.axes.contains(3));
+        let blob = big.points.iter().filter(|&&i| i < 400).count();
+        assert!(blob > 320, "only {blob} blob members");
+    }
+
+    #[test]
+    fn uniform_data_has_no_cores() {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                rows.push([i as f64 / 40.0, j as f64 / 40.0]);
+            }
+        }
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let c = P3c::default().fit(&ds).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sturges_grows_logarithmically() {
+        assert_eq!(sturges(1), 1);
+        assert_eq!(sturges(1024), 11);
+        assert!(sturges(100_000) <= 19);
+    }
+
+    #[test]
+    fn interval_contains_respects_bounds() {
+        let iv = Interval {
+            axis: 1,
+            lo: 0.2,
+            hi: 0.4,
+        };
+        assert!(iv.contains(&[0.0, 0.2]));
+        assert!(iv.contains(&[0.9, 0.39]));
+        assert!(!iv.contains(&[0.0, 0.4]));
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let ds = blobs();
+        let c = P3c::new(P3cConfig {
+            poisson_threshold: 0.0,
+            ..Default::default()
+        });
+        assert!(c.fit(&ds).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = blobs();
+        let a = P3c::default().fit(&ds).unwrap();
+        let b = P3c::default().fit(&ds).unwrap();
+        assert_eq!(a.labels(), b.labels());
+    }
+}

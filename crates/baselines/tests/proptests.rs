@@ -1,0 +1,55 @@
+//! Property-based invariants shared by every baseline: whatever the input,
+//! the output must be a valid disjoint clustering of the right shape, and
+//! fitting must be deterministic.
+
+use mrcc_baselines::{
+    Clique, Doc, DocConfig, Epch, EpchConfig, Harp, HarpConfig, Lac, LacConfig, P3c, Proclus,
+    ProclusConfig, SubspaceClusterer,
+};
+use mrcc_common::NOISE;
+use mrcc_datagen::{generate, SyntheticSpec};
+use proptest::prelude::*;
+
+fn methods(k: usize, noise: f64, dims: usize) -> Vec<Box<dyn SubspaceClusterer>> {
+    vec![
+        Box::new(Clique::default()),
+        Box::new(Doc::new(DocConfig::new(k))),
+        Box::new(Epch::new(EpchConfig::new(k))),
+        Box::new(Harp::new(HarpConfig::new(k, noise))),
+        Box::new(Lac::new(LacConfig::new(k))),
+        Box::new(P3c::default()),
+        Box::new(Proclus::new(ProclusConfig::new(k, 2.min(dims)))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every method returns a partition with in-range labels and masks of
+    /// the right dimensionality, and is deterministic.
+    #[test]
+    fn all_methods_emit_valid_partitions(
+        dims in 3usize..=8,
+        k in 1usize..=3,
+        seed in 0u64..100,
+    ) {
+        let spec = SyntheticSpec::new("bl-prop", dims, 1_200, k, 0.15, seed);
+        let synth = generate(&spec);
+        for method in methods(k, 0.15, dims) {
+            let a = method.fit(&synth.dataset).unwrap();
+            prop_assert_eq!(a.n_points(), synth.dataset.len(), "{}", method.name());
+            prop_assert_eq!(a.dims(), dims);
+            let labels = a.labels();
+            let kk = a.len() as i32;
+            for &l in &labels {
+                prop_assert!(l == NOISE || (0..kk).contains(&l), "{}", method.name());
+            }
+            for cluster in a.clusters() {
+                prop_assert!(!cluster.is_empty());
+                prop_assert_eq!(cluster.axes.dims(), dims);
+            }
+            let b = method.fit(&synth.dataset).unwrap();
+            prop_assert_eq!(a.labels(), b.labels(), "{} not deterministic", method.name());
+        }
+    }
+}

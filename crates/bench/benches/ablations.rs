@@ -1,0 +1,48 @@
+//! Design-choice micro-ablations: the face-only vs full Laplacian mask
+//! (paper Section III-B: O(d) vs O(3^d) per cell) and the axis-selection
+//! rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrcc::{AxisSelection, MaskKind, MrCC, MrCCConfig};
+use mrcc_datagen::{generate, SyntheticSpec};
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    // Mask variants on growing d: the face-only mask stays flat, the full
+    // mask blows up exponentially.
+    for &d in &[4usize, 6, 8] {
+        let synth = generate(&SyntheticSpec::new("a", d, 8_000, 3, 0.15, 21));
+        for (label, mask) in [("face", MaskKind::FaceOnly), ("full", MaskKind::Full)] {
+            let config = MrCCConfig {
+                mask,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("mask-{label}"), d),
+                &synth,
+                |b, s| {
+                    b.iter(|| MrCC::new(config.clone()).fit(&s.dataset).unwrap());
+                },
+            );
+        }
+    }
+    // Axis-selection rules.
+    let synth = generate(&SyntheticSpec::new("a", 10, 12_000, 4, 0.15, 22));
+    for (label, selection) in [
+        ("share50", AxisSelection::Share(50.0)),
+        ("mdl", AxisSelection::Mdl),
+    ] {
+        let config = MrCCConfig {
+            axis_selection: selection,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("axis-selection", label), &synth, |b, s| {
+            b.iter(|| MrCC::new(config.clone()).fit(&s.dataset).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! One fit per method on a shared mid-size workload — the microbenchmark
+//! behind the paper's headline "MrCC is ~10× faster than the accurate
+//! competitors".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrcc_bench::MethodKind;
+use mrcc_datagen::{generate, SyntheticSpec};
+
+fn baselines(c: &mut Criterion) {
+    let synth = generate(&SyntheticSpec::new("cmp", 10, 10_000, 4, 0.15, 31));
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for method in MethodKind::all() {
+        let clusterer = method.build(4, 0.15);
+        group.bench_function(method.name(), |b| {
+            b.iter(|| clusterer.fit(&synth.dataset).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

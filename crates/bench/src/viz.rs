@@ -1,0 +1,197 @@
+//! Minimal SVG scatter plots of clusterings — the paper's Figure 1 views.
+//!
+//! Renders a 2-d projection of a clustered dataset onto a chosen axis pair
+//! (noise in grey, clusters in a rotating palette), or a grid of all
+//! pairwise projections. No drawing dependency: SVG is written directly.
+
+use std::fmt::Write as _;
+
+use mrcc_common::{Dataset, SubspaceClustering, NOISE};
+
+/// Colour palette for clusters (cycled); noise uses [`NOISE_COLOR`].
+pub const PALETTE: [&str; 10] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+    "#bcbd22", "#7f7f7f",
+];
+
+/// Colour used for noise points.
+pub const NOISE_COLOR: &str = "#cccccc";
+
+/// Renders one axis-pair projection as an SVG string.
+///
+/// # Panics
+/// Panics when either axis is out of range or the clustering does not match
+/// the dataset.
+pub fn scatter_svg(
+    ds: &Dataset,
+    clustering: &SubspaceClustering,
+    axis_x: usize,
+    axis_y: usize,
+    size_px: u32,
+) -> String {
+    assert!(axis_x < ds.dims() && axis_y < ds.dims(), "axis out of range");
+    assert_eq!(ds.len(), clustering.n_points(), "clustering mismatch");
+    let labels = clustering.labels();
+    let s = size_px as f64;
+    let margin = 0.05 * s;
+    let span = s - 2.0 * margin;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size_px}" height="{size_px}" viewBox="0 0 {size_px} {size_px}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="white"/><rect x="{margin}" y="{margin}" width="{span}" height="{span}" fill="none" stroke="#888" stroke-width="1"/>"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="{}" font-size="{}" fill="#444">e{} vs e{}</text>"##,
+        margin,
+        0.8 * margin,
+        0.6 * margin,
+        axis_x + 1,
+        axis_y + 1
+    );
+    // Noise first so cluster points draw on top.
+    for pass in [true, false] {
+        for (i, p) in ds.iter().enumerate() {
+            let is_noise = labels[i] == NOISE;
+            if is_noise != pass {
+                continue;
+            }
+            let color = if is_noise {
+                NOISE_COLOR
+            } else {
+                PALETTE[labels[i] as usize % PALETTE.len()]
+            };
+            let x = margin + p[axis_x] * span;
+            // SVG y grows downward; flip so the plot reads mathematically.
+            let y = margin + (1.0 - p[axis_y]) * span;
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{x:.2}" cy="{y:.2}" r="1.6" fill="{color}" fill-opacity="0.75"/>"#
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders every axis pair of a low-dimensional dataset into one SVG grid
+/// (capped at `max_pairs` panels to keep files sane).
+pub fn pair_grid_svg(
+    ds: &Dataset,
+    clustering: &SubspaceClustering,
+    panel_px: u32,
+    max_pairs: usize,
+) -> String {
+    let d = ds.dims();
+    let pairs: Vec<(usize, usize)> = (0..d)
+        .flat_map(|a| ((a + 1)..d).map(move |b| (a, b)))
+        .take(max_pairs)
+        .collect();
+    let cols = (pairs.len() as f64).sqrt().ceil() as usize;
+    let rows = pairs.len().div_ceil(cols.max(1));
+    let (w, h) = (cols as u32 * panel_px, rows as u32 * panel_px);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    for (idx, &(a, b)) in pairs.iter().enumerate() {
+        let (col, row) = (idx % cols, idx / cols);
+        let panel = scatter_svg(ds, clustering, a, b, panel_px);
+        // Strip the outer <svg> wrapper, translate the body into place.
+        let body: String = panel
+            .lines()
+            .skip(1)
+            .take_while(|l| !l.starts_with("</svg>"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = writeln!(
+            svg,
+            r#"<g transform="translate({},{})">{body}</g>"#,
+            col as u32 * panel_px,
+            row as u32 * panel_px
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrcc_common::{AxisMask, SubspaceCluster};
+
+    fn sample() -> (Dataset, SubspaceClustering) {
+        let ds = Dataset::from_rows(&[
+            [0.1, 0.2, 0.3],
+            [0.15, 0.25, 0.35],
+            [0.8, 0.9, 0.1],
+            [0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let clustering = SubspaceClustering::new(
+            4,
+            3,
+            vec![
+                SubspaceCluster::new(vec![0, 1], AxisMask::from_axes(3, [0, 1])),
+                SubspaceCluster::new(vec![2], AxisMask::from_axes(3, [2])),
+            ],
+        );
+        (ds, clustering)
+    }
+
+    #[test]
+    fn scatter_contains_all_points_and_colors() {
+        let (ds, c) = sample();
+        let svg = scatter_svg(&ds, &c, 0, 1, 400);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        assert!(svg.contains(NOISE_COLOR)); // point 3 is noise
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let (ds, c) = sample();
+        let svg = scatter_svg(&ds, &c, 0, 1, 100);
+        // Point 2 has the highest y (0.9) → smallest cy.
+        let cys: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.contains("<circle"))
+            .map(|l| {
+                l.split("cy=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        let min_cy = cys.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Noise drawn first: order is [noise(0.5), c0(0.2), c0(0.25), c1(0.9)].
+        assert!((cys[3] - min_cy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_grid_covers_pairs() {
+        let (ds, c) = sample();
+        let svg = pair_grid_svg(&ds, &c, 200, 10);
+        // 3 axes → 3 pairs → 3 panels × 4 points.
+        assert_eq!(svg.matches("<circle").count(), 12);
+        assert_eq!(svg.matches("<g transform").count(), 3);
+    }
+
+    #[test]
+    fn pair_cap_is_respected() {
+        let (ds, c) = sample();
+        let svg = pair_grid_svg(&ds, &c, 200, 2);
+        assert_eq!(svg.matches("<g transform").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn rejects_bad_axis() {
+        let (ds, c) = sample();
+        let _ = scatter_svg(&ds, &c, 0, 5, 100);
+    }
+}

@@ -1,0 +1,17 @@
+//! The `mrcc` command-line tool. All logic lives in the `mrcc-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match mrcc_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = mrcc_cli::run(command, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

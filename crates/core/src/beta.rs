@@ -1,0 +1,138 @@
+//! β-clusters: the candidate clusters of MrCC's second phase.
+//!
+//! A β-cluster follows the definition of a correlation cluster but is not yet
+//! confirmed/merged. The paper describes the `βk` β-clusters with three
+//! matrices: `L[k][j]`/`U[k][j]` (lower/upper bounds per axis) and `V[k][j]`
+//! (axis relevance flags). One [`BetaCluster`] holds row `k` of all three,
+//! plus provenance (which cell won the convolution, at which level, and the
+//! per-axis statistics that confirmed it) so results are explainable.
+
+use mrcc_common::{AxisMask, BoundingBox};
+
+/// Per-axis statistics of the binomial significance test that confirmed a
+/// β-cluster (Section III-B).
+#[derive(Debug, Clone)]
+pub struct AxisStats {
+    /// Points in the six-region neighborhood along this axis (`nP_j`).
+    pub neighborhood: u64,
+    /// Points in the centre region (`cP_j`).
+    pub center: u64,
+    /// Critical value `θ_j^α` of the test.
+    pub critical: u64,
+    /// Relevance `r[j] = 100·cP_j / nP_j`.
+    pub relevance: f64,
+}
+
+impl AxisStats {
+    /// Whether this axis rejected the uniform null (`cP_j ≥ θ_j^α`).
+    pub fn significant(&self) -> bool {
+        self.center >= self.critical
+    }
+}
+
+/// A confirmed β-cluster.
+#[derive(Debug, Clone)]
+pub struct BetaCluster {
+    /// Bounds per axis: relevant axes carry the refined cell bounds, the
+    /// paper's `L[k][j]`/`U[k][j]`; irrelevant axes span `[0, 1]`.
+    pub bounds: BoundingBox,
+    /// Relevant axes (`V[k]`).
+    pub axes: AxisMask,
+    /// Tree level at which the centre cell was found.
+    pub level: usize,
+    /// Absolute grid coordinates of the centre cell at that level.
+    pub center_coords: Vec<u64>,
+    /// Per-axis test statistics (diagnostics; one entry per original axis).
+    pub axis_stats: Vec<AxisStats>,
+    /// The MDL (or fixed) relevance threshold that cut the axes.
+    pub relevance_threshold: f64,
+}
+
+impl BetaCluster {
+    /// The share-space predicate between two β-clusters: interior overlap on
+    /// **every** axis of the full `d`-dimensional space, plus at least one
+    /// common relevant axis.
+    ///
+    /// Two deviations from the paper's bare `≥` box formula, both forced by
+    /// behaviour at scale (see DESIGN.md): overlap is *strict* (cluster
+    /// bounds are grid-aligned, so distinct adjacent clusters constantly
+    /// share a zero-volume face), and the clusters must agree on at least
+    /// one relevant axis — a box constrained on axes `{e1}` and a box
+    /// constrained on `{e2}` *always* intersect geometrically (each spans
+    /// `[0,1]` where the other is confined), which would chain-merge every
+    /// cluster living in a disjoint subspace. Fragments of one (possibly
+    /// rotated) cluster share their confined directions, so genuine merges
+    /// keep happening.
+    pub fn shares_space(&self, other: &BetaCluster) -> bool {
+        self.axes.intersection_count(&other.axes) > 0
+            && self.bounds.overlaps_strict(&other.bounds)
+    }
+
+    /// Cluster dimensionality `δ`.
+    pub fn dimensionality(&self) -> usize {
+        self.axes.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beta(lo: &[f64], hi: &[f64], axes: &[usize]) -> BetaCluster {
+        let d = lo.len();
+        BetaCluster {
+            bounds: BoundingBox::new(lo.to_vec(), hi.to_vec()),
+            axes: AxisMask::from_axes(d, axes.iter().copied()),
+            level: 2,
+            center_coords: vec![0; d],
+            axis_stats: Vec::new(),
+            relevance_threshold: 50.0,
+        }
+    }
+
+    #[test]
+    fn share_space_uses_all_axes_and_is_strict() {
+        let a = beta(&[0.0, 0.0], &[0.25, 0.25], &[0, 1]);
+        let b = beta(&[0.2, 0.0], &[0.5, 0.25], &[0, 1]);
+        let touch = beta(&[0.25, 0.0], &[0.5, 0.25], &[0, 1]);
+        let c = beta(&[0.5, 0.5], &[0.75, 0.75], &[0, 1]);
+        assert!(a.shares_space(&b)); // interior overlap on both axes
+        assert!(!a.shares_space(&touch)); // face contact only → separate
+        assert!(!a.shares_space(&c));
+    }
+
+    #[test]
+    fn disjoint_relevant_axes_never_merge() {
+        // Relevant on different axes: the boxes intersect geometrically
+        // (each spans [0,1] where the other is confined) but describe
+        // clusters in unrelated subspaces → no space sharing.
+        let a = beta(&[0.1, 0.0], &[0.2, 1.0], &[0]);
+        let b = beta(&[0.0, 0.6], &[1.0, 0.7], &[1]);
+        assert!(!a.shares_space(&b));
+        // With a common relevant axis and interior overlap, they do share.
+        let c = beta(&[0.15, 0.0], &[0.3, 1.0], &[0]);
+        assert!(a.shares_space(&c));
+    }
+
+    #[test]
+    fn axis_stats_significance() {
+        let s = AxisStats {
+            neighborhood: 60,
+            center: 30,
+            critical: 25,
+            relevance: 50.0,
+        };
+        assert!(s.significant());
+        let s2 = AxisStats {
+            center: 24,
+            ..s
+        };
+        assert!(!s2.significant());
+    }
+
+    #[test]
+    fn dimensionality_counts_relevant_axes() {
+        let b = beta(&[0.0, 0.0, 0.0], &[1.0, 0.5, 1.0], &[1]);
+        assert_eq!(b.dimensionality(), 1);
+    }
+}

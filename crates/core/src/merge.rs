@@ -1,0 +1,279 @@
+//! Phase three: building correlation clusters (Algorithm 3).
+//!
+//! β-clusters sharing space in the full `d`-dimensional data space are
+//! transitively grouped into one correlation cluster; the cluster's relevant
+//! axes are those relevant to *any* member β-cluster. Points are then labeled
+//! after the regions covered by the correlation clusters — a point belongs to
+//! cluster `k` iff it falls inside the box of some member β-cluster — and
+//! everything else is noise. Because distinct correlation clusters never
+//! share space, the labeling is unambiguous and the clusters partition the
+//! clustered points (Definition 2's disjointness).
+
+use mrcc_common::{AxisMask, BoundingBox, Dataset, SubspaceCluster, SubspaceClustering};
+
+use crate::beta::BetaCluster;
+
+/// Fraction of the smaller box's points that must sit in the shared region
+/// for two β-clusters to merge (see `build_correlation_clusters`).
+const JUNCTION_DENSITY: f64 = 0.20;
+
+/// A final correlation cluster `δ_γC_k = (δ_γE_k, δ_γS_k)`.
+#[derive(Debug, Clone)]
+pub struct CorrelationCluster {
+    /// Relevant axes: union over member β-clusters.
+    pub axes: AxisMask,
+    /// Indices (into the β-cluster list) of the members, ascending.
+    pub beta_indices: Vec<usize>,
+    /// Bounding hull of the member boxes (reporting only; membership uses
+    /// the exact union of member boxes).
+    pub hull: BoundingBox,
+    /// Number of points labeled into this cluster.
+    pub size: usize,
+}
+
+/// Minimal union–find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Groups β-clusters into correlation clusters and labels every dataset
+/// point. Returns the clusters (ordered by smallest member β index) and the
+/// resulting partition.
+pub fn build_correlation_clusters(
+    dataset: &Dataset,
+    betas: &[BetaCluster],
+) -> (Vec<CorrelationCluster>, SubspaceClustering) {
+    let dims = dataset.dims();
+    if betas.is_empty() {
+        return (
+            Vec::new(),
+            SubspaceClustering::empty(dataset.len(), dims),
+        );
+    }
+
+    // Pairwise share-space → union (Algorithm 3, lines 1–5), with a
+    // junction-density check: two β-boxes only describe the same cluster
+    // when the region they share actually holds a meaningful slice of the
+    // smaller box's points. Fragments of one (possibly rotated) cluster meet
+    // where the cluster is — dense junctions — while boxes of *different*
+    // clusters that happen to cross geometrically meet in mostly-empty
+    // space (a coarse-level box spans `[0,1]` on its irrelevant axes, so
+    // such crossings are unavoidable). See DESIGN.md.
+    let box_counts: Vec<usize> = betas
+        .iter()
+        .map(|b| dataset.iter().filter(|p| b.bounds.contains(p)).count())
+        .collect();
+    let mut uf = UnionFind::new(betas.len());
+    for i in 0..betas.len() {
+        for j in (i + 1)..betas.len() {
+            if !betas[i].shares_space(&betas[j]) {
+                continue;
+            }
+            let bi = &betas[i].bounds;
+            let bj = &betas[j].bounds;
+            let junction = dataset
+                .iter()
+                .filter(|p| bi.contains(p) && bj.contains(p))
+                .count();
+            let needed = (box_counts[i].min(box_counts[j]) as f64 * JUNCTION_DENSITY).ceil();
+            if junction as f64 >= needed.max(1.0) {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    // Collect groups in deterministic order (by smallest member index).
+    let mut root_to_group: Vec<Option<usize>> = vec![None; betas.len()];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..betas.len() {
+        let root = uf.find(i);
+        match root_to_group[root] {
+            Some(g) => groups[g].push(i),
+            None => {
+                root_to_group[root] = Some(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+
+    // Relevant axes = union over members (lines 6–8); hull for reporting.
+    let mut clusters: Vec<CorrelationCluster> = groups
+        .iter()
+        .map(|members| {
+            let mut axes = AxisMask::empty(dims);
+            let mut hull = betas[members[0]].bounds.clone();
+            for &m in members {
+                axes = axes.union(&betas[m].axes);
+                hull = hull.hull(&betas[m].bounds);
+            }
+            CorrelationCluster {
+                axes,
+                beta_indices: members.clone(),
+                hull,
+                size: 0,
+            }
+        })
+        .collect();
+
+    // Label points after the covered regions; first match wins (regions of
+    // distinct correlation clusters are disjoint up to shared boundaries).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+    for (i, p) in dataset.iter().enumerate() {
+        'point: for (g, cluster) in clusters.iter().enumerate() {
+            for &m in &cluster.beta_indices {
+                if betas[m].bounds.contains(p) {
+                    members[g].push(i);
+                    break 'point;
+                }
+            }
+        }
+    }
+    for (cluster, m) in clusters.iter_mut().zip(&members) {
+        cluster.size = m.len();
+    }
+
+    let subspace_clusters: Vec<SubspaceCluster> = clusters
+        .iter()
+        .zip(members)
+        .map(|(c, pts)| SubspaceCluster::new(pts, c.axes))
+        .collect();
+    let clustering = SubspaceClustering::new(dataset.len(), dims, subspace_clusters);
+    (clusters, clustering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beta(lo: &[f64], hi: &[f64], axes: &[usize]) -> BetaCluster {
+        let d = lo.len();
+        BetaCluster {
+            bounds: BoundingBox::new(lo.to_vec(), hi.to_vec()),
+            axes: AxisMask::from_axes(d, axes.iter().copied()),
+            level: 2,
+            center_coords: vec![0; d],
+            axis_stats: Vec::new(),
+            relevance_threshold: 50.0,
+        }
+    }
+
+    fn grid_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push([i as f64 / 10.0, j as f64 / 10.0]);
+            }
+        }
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn no_betas_all_noise() {
+        let ds = grid_dataset();
+        let (clusters, clustering) = build_correlation_clusters(&ds, &[]);
+        assert!(clusters.is_empty());
+        assert_eq!(clustering.noise().len(), ds.len());
+    }
+
+    #[test]
+    fn overlapping_betas_merge() {
+        let ds = grid_dataset();
+        let betas = vec![
+            beta(&[0.0, 0.0], &[0.3, 0.3], &[0]),
+            beta(&[0.15, 0.15], &[0.5, 0.5], &[0, 1]), // overlaps + shares e1
+            beta(&[0.8, 0.8], &[0.95, 0.95], &[0, 1]), // separate
+        ];
+        let (clusters, clustering) = build_correlation_clusters(&ds, &betas);
+        assert_eq!(clusters.len(), 2);
+        // Merged cluster carries the union of relevant axes.
+        assert_eq!(clusters[0].beta_indices, vec![0, 1]);
+        assert_eq!(clusters[0].axes.count(), 2);
+        assert_eq!(clusters[1].beta_indices, vec![2]);
+        assert_eq!(clustering.len(), 2);
+    }
+
+    #[test]
+    fn transitive_merge_through_a_chain() {
+        let ds = grid_dataset();
+        // a–b overlap, b–c overlap, a–c do not: all three must merge.
+        let betas = vec![
+            beta(&[0.0, 0.0], &[0.2, 0.2], &[0]),
+            beta(&[0.05, 0.05], &[0.45, 0.45], &[0]),
+            beta(&[0.3, 0.3], &[0.6, 0.6], &[0, 1]),
+        ];
+        let (clusters, _) = build_correlation_clusters(&ds, &betas);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].beta_indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn points_label_after_member_boxes() {
+        let ds = grid_dataset();
+        let betas = vec![beta(&[0.0, 0.0], &[0.25, 0.25], &[0, 1])];
+        let (clusters, clustering) = build_correlation_clusters(&ds, &betas);
+        // Points with both coordinates in {0.0, 0.1, 0.2} → 9 points.
+        assert_eq!(clusters[0].size, 9);
+        assert_eq!(clustering.clusters()[0].len(), 9);
+        assert_eq!(clustering.noise().len(), 100 - 9);
+    }
+
+    #[test]
+    fn touching_boxes_stay_separate_and_labels_stay_disjoint() {
+        let ds = grid_dataset();
+        // Boxes sharing only a face have zero-volume intersection → two
+        // clusters; the boundary point goes to the first match and is never
+        // double-assigned.
+        let betas = vec![
+            beta(&[0.0, 0.0], &[0.5, 0.5], &[0]),
+            beta(&[0.5, 0.0], &[0.9, 0.5], &[0]),
+        ];
+        let (clusters, clustering) = build_correlation_clusters(&ds, &betas);
+        assert_eq!(clusters.len(), 2);
+        let total: usize = clustering.clusters().iter().map(|c| c.len()).sum();
+        assert_eq!(total + clustering.noise().len(), ds.len());
+    }
+
+    #[test]
+    fn hull_covers_members() {
+        let ds = grid_dataset();
+        let betas = vec![
+            beta(&[0.0, 0.0], &[0.2, 0.2], &[0]),
+            beta(&[0.1, 0.1], &[0.5, 0.6], &[0, 1]),
+        ];
+        let (clusters, _) = build_correlation_clusters(&ds, &betas);
+        let h = &clusters[0].hull;
+        assert_eq!(h.lower(0), 0.0);
+        assert_eq!(h.upper(1), 0.6);
+    }
+}

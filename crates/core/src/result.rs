@@ -1,0 +1,95 @@
+//! The output of a full MrCC fit.
+
+use std::time::Duration;
+
+use mrcc_common::SubspaceClustering;
+
+use crate::beta::BetaCluster;
+use crate::merge::CorrelationCluster;
+
+/// Phase timings and resource accounting of one fit.
+#[derive(Debug, Clone)]
+pub struct FitStats {
+    /// Heap footprint of the Counting-tree right after construction.
+    pub tree_memory_bytes: usize,
+    /// Wall time of phase one (Algorithm 1).
+    pub tree_build: Duration,
+    /// Wall time of phase two (Algorithm 2).
+    pub beta_search: Duration,
+    /// Wall time of phase three (Algorithm 3) including point labeling.
+    pub merge_phase: Duration,
+}
+
+impl FitStats {
+    /// Total wall time across all three phases.
+    pub fn total_time(&self) -> Duration {
+        self.tree_build + self.beta_search + self.merge_phase
+    }
+}
+
+/// Everything a fit produces.
+#[derive(Debug, Clone)]
+pub struct MrCCResult {
+    /// The dataset partition: disjoint clusters + implicit noise.
+    pub clustering: SubspaceClustering,
+    /// The correlation clusters with their relevant axes and member
+    /// β-clusters (`γk` entries).
+    pub clusters: Vec<CorrelationCluster>,
+    /// The raw β-clusters of phase two (`βk` entries), for diagnostics.
+    pub beta_clusters: Vec<BetaCluster>,
+    /// Resource accounting.
+    pub stats: FitStats,
+}
+
+impl MrCCResult {
+    /// Number of correlation clusters found (`γk`).
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of β-clusters found (`βk`).
+    pub fn n_beta_clusters(&self) -> usize {
+        self.beta_clusters.len()
+    }
+
+    /// Fraction of points labeled as noise.
+    pub fn noise_ratio(&self) -> f64 {
+        if self.clustering.n_points() == 0 {
+            return 0.0;
+        }
+        1.0 - self.clustering.n_clustered() as f64 / self.clustering.n_points() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_total_is_sum_of_phases() {
+        let s = FitStats {
+            tree_memory_bytes: 1024,
+            tree_build: Duration::from_millis(5),
+            beta_search: Duration::from_millis(7),
+            merge_phase: Duration::from_millis(3),
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn noise_ratio_of_empty_result() {
+        let r = MrCCResult {
+            clustering: SubspaceClustering::empty(10, 3),
+            clusters: Vec::new(),
+            beta_clusters: Vec::new(),
+            stats: FitStats {
+                tree_memory_bytes: 0,
+                tree_build: Duration::ZERO,
+                beta_search: Duration::ZERO,
+                merge_phase: Duration::ZERO,
+            },
+        };
+        assert_eq!(r.n_clusters(), 0);
+        assert_eq!(r.noise_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based invariants of the synthetic data generators.
+
+use mrcc_datagen::{generate, rotate_dataset_by, PlaneRotation, SyntheticSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..=12, 0usize..=4, 0.0f64..0.4, 0u64..1000, 0usize..=4).prop_map(
+        |(dims, clusters, noise, seed, rotations)| {
+            let mut s = SyntheticSpec::new("prop", dims, 500 + clusters * 200, clusters, noise, seed);
+            s.rotations = rotations;
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated datasets match their spec and stay inside the unit cube;
+    /// the ground truth is a valid partition with the right noise count.
+    #[test]
+    fn generation_matches_spec(spec in spec_strategy()) {
+        let synth = generate(&spec);
+        prop_assert_eq!(synth.dataset.len(), spec.n_points);
+        prop_assert_eq!(synth.dataset.dims(), spec.dims);
+        prop_assert!(synth.dataset.is_unit_normalized());
+        prop_assert_eq!(synth.ground_truth.len(), spec.n_clusters.min(spec.n_points));
+        if spec.rotations == 0 && spec.n_clusters > 0 {
+            // Without rotations the noise budget is exact.
+            prop_assert_eq!(synth.ground_truth.noise().len(), spec.n_noise());
+        }
+        // Every cluster keeps 1..=6 irrelevant axes.
+        for c in synth.ground_truth.clusters() {
+            let irr = spec.dims - c.axes.count();
+            prop_assert!((1..=6).contains(&irr), "irrelevant = {irr}");
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.dataset, b.dataset);
+        prop_assert_eq!(a.ground_truth.labels(), b.ground_truth.labels());
+    }
+
+    /// Plane rotations preserve pairwise distances (before renormalization).
+    #[test]
+    fn rotations_are_isometries(
+        seed in 0u64..500,
+        theta in -1.5f64..1.5,
+        ax in 0usize..4,
+    ) {
+        prop_assume!(theta.abs() > 1e-6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = &mut rng;
+        let r = PlaneRotation { i: ax, j: (ax + 1) % 4, theta };
+        let a0 = [0.1, 0.7, 0.3, 0.9];
+        let b0 = [0.8, 0.2, 0.6, 0.4];
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt()
+        };
+        let before = dist(&a0, &b0);
+        let mut a = a0.to_vec();
+        let mut b = b0.to_vec();
+        r.apply(&mut a, 0.5);
+        r.apply(&mut b, 0.5);
+        prop_assert!((dist(&a, &b) - before).abs() < 1e-12);
+    }
+
+    /// Rotating a whole dataset preserves the point count, dimension and
+    /// membership structure, and keeps data normalized.
+    #[test]
+    fn dataset_rotation_preserves_shape(seed in 0u64..200, k in 1usize..=4) {
+        let spec = SyntheticSpec::new("rot", 5, 400, 1, 0.1, seed);
+        let synth = generate(&spec);
+        let mut ds = synth.dataset.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFFFF);
+        let rots = rotate_dataset_by(&mut ds, k, 0.3, &mut rng);
+        prop_assert_eq!(rots.len(), k);
+        prop_assert_eq!(ds.len(), synth.dataset.len());
+        prop_assert!(ds.is_unit_normalized());
+    }
+
+    /// Scaling a spec scales the point budget proportionally.
+    #[test]
+    fn spec_scaling(points in 10usize..100_000, factor in 0.01f64..2.0) {
+        let s = SyntheticSpec::new("s", 4, points, 0, 0.0, 1).scaled(factor);
+        let expect = ((points as f64 * factor).round() as usize).max(1);
+        prop_assert_eq!(s.n_points, expect);
+    }
+}

@@ -1,0 +1,85 @@
+//! Small descriptive-statistics helpers shared by the baselines and tests.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; 0 for fewer than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Minimum and maximum, or `None` for an empty slice.
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter().copied();
+    let first = it.next()?;
+    let mut mn = first;
+    let mut mx = first;
+    for v in it {
+        if v < mn {
+            mn = v;
+        }
+        if v > mx {
+            mx = v;
+        }
+    }
+    Some((mn, mx))
+}
+
+/// Harmonic mean of two non-negative values; 0 if either is 0.
+///
+/// The paper's *Quality* metric is the harmonic mean of averaged precision
+/// and averaged recall (Section IV-A).
+pub fn harmonic_mean2(a: f64, b: f64) -> f64 {
+    if a <= 0.0 || b <= 0.0 {
+        return 0.0;
+    }
+    2.0 * a * b / (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0, 0.0]), Some((-1.0, 7.0)));
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert!((harmonic_mean2(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean2(0.0, 1.0), 0.0);
+        // Harmonic mean is dominated by the smaller value.
+        let h = harmonic_mean2(0.2, 1.0);
+        assert!(h > 0.2 && h < 0.6);
+    }
+}

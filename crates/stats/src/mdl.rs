@@ -1,0 +1,150 @@
+//! Minimum Description Length cut over sorted relevance values.
+//!
+//! Section III-B of the paper: once a β-cluster's per-axis relevances
+//! `r[j] = 100·cP_j / nP_j` are computed, they are sorted ascending into
+//! `o[]` and "submitted to MDL to find the best cut position p, 1 ≤ p ≤ d,
+//! that maximizes the homogeneity of values in the partitions
+//! `[o_1 … o_{p−1}]` and `[o_p … o_d]`. The value `cThreshold = o[p]` is used
+//! to define axis e_j as relevant" iff `r[j] ≥ cThreshold`.
+//!
+//! The paper does not spell out the coding scheme; following the journal
+//! version of this work (Halite, TKDE 2013) we code each non-empty partition
+//! by its mean plus the absolute deviations of its members, with
+//! `bits(x) = log2(1 + |x|)`. A partition of nearly equal values is then very
+//! cheap, so the minimum-cost cut lands exactly at the jump separating the
+//! low-relevance plateau from the high-relevance plateau.
+
+/// Result of an MDL cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdlCut {
+    /// Index of the first element of the upper (relevant) partition.
+    /// `0` means every value is in the upper partition.
+    pub cut: usize,
+    /// The threshold `o[cut]`: smallest value of the upper partition.
+    pub threshold: f64,
+    /// Total description cost in bits at the chosen cut.
+    pub cost: f64,
+}
+
+/// Bits to encode a magnitude: `log2(1 + |x|)`.
+#[inline]
+fn bits(x: f64) -> f64 {
+    (1.0 + x.abs()).log2()
+}
+
+/// Description cost of one partition: header (its mean) + member deviations.
+fn partition_cost(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let dev: f64 = values.iter().map(|&v| bits(v - mean)).sum();
+    bits(mean) + dev
+}
+
+/// Finds the cut position minimizing the two-partition description cost of an
+/// **ascending-sorted** slice, and the resulting threshold.
+///
+/// The cut index `c` ranges over `0..values.len()`; the partitions are
+/// `values[..c]` (may be empty) and `values[c..]` (never empty), matching the
+/// paper's `1 ≤ p ≤ d`. Returns the minimizing cut; ties go to the smaller
+/// cut (more axes considered relevant).
+///
+/// ```
+/// use mrcc_stats::mdl_cut;
+///
+/// // Two plateaus: uniform axes near the null share, relevant axes high.
+/// let sorted = [16.0, 17.0, 18.0, 91.0, 94.0];
+/// let cut = mdl_cut(&sorted);
+/// assert_eq!(cut.threshold, 91.0);
+/// ```
+///
+/// # Panics
+/// Panics on an empty slice or an unsorted slice (debug only for the latter).
+pub fn mdl_cut(values: &[f64]) -> MdlCut {
+    assert!(!values.is_empty(), "mdl_cut needs at least one value");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "mdl_cut input must be sorted ascending"
+    );
+    let mut best = MdlCut {
+        cut: 0,
+        threshold: values[0],
+        cost: f64::INFINITY,
+    };
+    for c in 0..values.len() {
+        let cost = partition_cost(&values[..c]) + partition_cost(&values[c..]);
+        if cost < best.cost - 1e-12 {
+            best = MdlCut {
+                cut: c,
+                threshold: values[c],
+                cost,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_plateaus_cut_at_the_jump() {
+        // Low plateau ≈ 16 (uniform axes), high plateau ≈ 90 (relevant axes).
+        let o = [15.0, 16.0, 16.5, 17.0, 88.0, 90.0, 92.0];
+        let cut = mdl_cut(&o);
+        assert_eq!(cut.cut, 4);
+        assert_eq!(cut.threshold, 88.0);
+    }
+
+    #[test]
+    fn uniform_values_prefer_single_partition() {
+        let o = [50.0, 50.0, 50.0, 50.0];
+        let cut = mdl_cut(&o);
+        // A second partition only adds a header; cut 0 (everything relevant).
+        assert_eq!(cut.cut, 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let cut = mdl_cut(&[42.0]);
+        assert_eq!(cut.cut, 0);
+        assert_eq!(cut.threshold, 42.0);
+    }
+
+    #[test]
+    fn outlier_high_value_is_isolated() {
+        let o = [10.0, 11.0, 12.0, 13.0, 99.0];
+        let cut = mdl_cut(&o);
+        assert_eq!(cut.cut, 4);
+        assert_eq!(cut.threshold, 99.0);
+    }
+
+    #[test]
+    fn threshold_marks_relevant_axes_like_the_paper() {
+        // Simulated relevances of a 3-of-8 cluster: irrelevant axes hover at
+        // the uniform expectation (100/6 ≈ 16.7), relevant ones near 100.
+        let r = [16.0, 17.2, 15.9, 99.0, 16.4, 97.5, 98.2, 16.8];
+        let mut o: Vec<f64> = r.to_vec();
+        o.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cut = mdl_cut(&o);
+        let relevant: Vec<usize> = (0..r.len()).filter(|&j| r[j] >= cut.threshold).collect();
+        assert_eq!(relevant, vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn gradual_slope_still_returns_valid_cut() {
+        let o: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let cut = mdl_cut(&o);
+        assert!(cut.cut < o.len());
+        assert_eq!(cut.threshold, o[cut.cut]);
+        assert!(cut.cost.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_input_panics() {
+        mdl_cut(&[]);
+    }
+}

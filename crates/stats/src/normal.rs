@@ -1,0 +1,126 @@
+//! Standard normal distribution.
+//!
+//! CDF via the incomplete gamma function (`Φ(x)` reduces to `erf`), quantile
+//! via Acklam's rational approximation refined with one Halley step. Used by
+//! the data generators' statistical self-tests and the HARP baseline's
+//! relevance thresholds.
+
+use crate::gamma_inc::gamma_p;
+
+/// Error function `erf(x) = P(1/2, x²)·sign(x)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm + one refinement).
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn norm_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    // Acklam coefficients, at full published precision.
+    #[allow(clippy::excessive_precision)]
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement against the accurate CDF.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((norm_cdf(1.959_963_985) - 0.975).abs() < 1e-9);
+        assert!((norm_cdf(-1.959_963_985) - 0.025).abs() < 1e-9);
+        assert!((norm_cdf(3.0) - 0.998_650_1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ppf_inverts_cdf() {
+        for &p in &[1e-8, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6] {
+            let x = norm_ppf(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-10, "p={p}: x={x}");
+        }
+    }
+
+    #[test]
+    fn ppf_symmetry() {
+        for &p in &[0.001, 0.1, 0.25, 0.4] {
+            assert!((norm_ppf(p) + norm_ppf(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn erf_reference() {
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-12);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 1e-12);
+        assert_eq!(erf(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn ppf_rejects_boundary() {
+        norm_ppf(1.0);
+    }
+}

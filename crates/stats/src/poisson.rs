@@ -1,0 +1,93 @@
+//! Poisson tails via the incomplete gamma function.
+//!
+//! Used by the P3C baseline: an attribute interval's support is compared
+//! against the Poisson tail probability of observing that many points under a
+//! uniform spread (Moise et al., "Robust projected clustering", KAIS 2008).
+
+use crate::gamma::ln_factorial;
+use crate::gamma_inc::{gamma_p, gamma_q};
+
+/// A Poisson distribution with mean `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics unless `λ > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive, got {lambda}");
+        Poisson { lambda }
+    }
+
+    /// Mean `λ`.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        (k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ k) = Q(k + 1, λ)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        gamma_q((k + 1) as f64, self.lambda)
+    }
+
+    /// Survival function `P(X ≥ k) = P(k, λ)` (regularized lower incomplete
+    /// gamma) for `k ≥ 1`; 1 for `k = 0`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        gamma_p(k as f64, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_normalizes() {
+        let d = Poisson::new(4.2);
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sf_matches_direct_summation() {
+        let d = Poisson::new(7.5);
+        for k in 0..30u64 {
+            let direct: f64 = (k..200).map(|i| d.pmf(i)).sum();
+            let fast = d.sf(k);
+            assert!((direct - fast).abs() < 1e-9, "k={k}: {direct} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        let d = Poisson::new(3.0);
+        for k in 0..20u64 {
+            let s = d.cdf(k) + d.sf(k + 1);
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reference_value() {
+        // scipy.stats.poisson.sf(14, 5) = P(X ≥ 15) ≈ 0.000226.
+        let d = Poisson::new(5.0);
+        assert!((d.sf(15) - 0.000_226).abs() < 5e-6, "{}", d.sf(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_nonpositive_lambda() {
+        Poisson::new(0.0);
+    }
+}

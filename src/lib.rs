@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the MrCC reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the repo-level
+//! examples and integration tests (and downstream users who want a single
+//! dependency) can write `use mrcc_repro::prelude::*`.
+
+pub use mrcc as core;
+pub use mrcc_baselines as baselines;
+pub use mrcc_common as common;
+pub use mrcc_counting_tree as counting_tree;
+pub use mrcc_datagen as datagen;
+pub use mrcc_eval as eval;
+pub use mrcc_stats as stats;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use mrcc::{MrCC, MrCCConfig, MrCCResult};
+    pub use mrcc_common::{AxisMask, BoundingBox, Dataset, SubspaceClustering};
+    pub use mrcc_datagen::{generate, SyntheticSpec};
+    pub use mrcc_eval::{quality, subspace_quality};
+}
