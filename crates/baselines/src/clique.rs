@@ -201,9 +201,9 @@ impl SubspaceClusterer for Clique {
         let maximal: Vec<Vec<usize>> = subspaces
             .iter()
             .filter(|s| {
-                !subspaces.iter().any(|t| {
-                    t.len() > s.len() && s.iter().all(|j| t.contains(j))
-                })
+                !subspaces
+                    .iter()
+                    .any(|t| t.len() > s.len() && s.iter().all(|j| t.contains(j)))
             })
             .map(|s| (*s).clone())
             .collect();
@@ -216,7 +216,7 @@ impl SubspaceClusterer for Clique {
                 candidates.push((s.clone(), comp));
             }
         }
-        for (_, comp) in candidates.iter_mut() {
+        for (_, comp) in &mut candidates {
             comp.sort();
         }
         candidates.sort_by(|a, b| {

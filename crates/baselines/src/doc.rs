@@ -106,14 +106,14 @@ impl Doc {
                 .copied()
                 .filter(|&i| {
                     let p = ds.point(i);
-                    dims.iter().all(|j| (p[j] - pivot[j]).abs() <= self.config.w)
+                    dims.iter()
+                        .all(|j| (p[j] - pivot[j]).abs() <= self.config.w)
                 })
                 .collect();
             if members.len() < min_size.max(2) {
                 continue;
             }
-            let quality =
-                members.len() as f64 * (1.0 / self.config.beta).powi(dims.count() as i32);
+            let quality = members.len() as f64 * (1.0 / self.config.beta).powi(dims.count() as i32);
             if best.as_ref().is_none_or(|(_, _, q)| quality > *q) {
                 best = Some((members, dims, quality));
             }

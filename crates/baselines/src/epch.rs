@@ -156,7 +156,7 @@ impl SubspaceClusterer for Epch {
         entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
         let mut merged: Vec<(Signature, Vec<usize>)> = Vec::new();
         'entry: for (sig, pts) in entries {
-            for (msig, mpts) in merged.iter_mut() {
+            for (msig, mpts) in &mut merged {
                 if compatible(msig, &sig) {
                     // The largest group's signature stays the
                     // representative; smaller compatible groups (typically
@@ -177,9 +177,8 @@ impl SubspaceClusterer for Epch {
             .take(cfg.max_clusters)
             .filter(|(sig, pts)| pts.len() >= min_size && sig.iter().any(Option::is_some))
             .map(|(sig, pts)| {
-                let mask = AxisMask::from_bools(
-                    &sig.iter().map(Option::is_some).collect::<Vec<_>>(),
-                );
+                let mask =
+                    AxisMask::from_bools(&sig.iter().map(Option::is_some).collect::<Vec<_>>());
                 SubspaceCluster::new(pts, mask)
             })
             .collect();

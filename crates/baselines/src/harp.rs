@@ -81,7 +81,12 @@ impl Agg {
     fn merge(&self, other: &Agg) -> Agg {
         Agg {
             count: self.count + other.count,
-            sum: self.sum.iter().zip(&other.sum).map(|(a, b)| a + b).collect(),
+            sum: self
+                .sum
+                .iter()
+                .zip(&other.sum)
+                .map(|(a, b)| a + b)
+                .collect(),
             sumsq: self
                 .sumsq
                 .iter()
@@ -310,8 +315,9 @@ mod tests {
         let labels = c.labels();
         let mut purity = 0usize;
         let even_label = labels[0];
-        for i in 0..400 {
-            if labels[i] >= 0 && (labels[i] == even_label) == (i % 2 == 0) {
+        // Purity over the 400 cluster points only; the 50 noise rows follow.
+        for (i, &l) in labels.iter().take(400).enumerate() {
+            if l >= 0 && (l == even_label) == (i % 2 == 0) {
                 purity += 1;
             }
         }

@@ -55,7 +55,9 @@ fn seed_centroids(ds: &Dataset, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let n = ds.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(ds.point(rng.gen_range(0..n)).to_vec());
-    let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(ds.point(i), &centroids[0])).collect();
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(ds.point(i), &centroids[0]))
+        .collect();
     while centroids.len() < k {
         let total: f64 = dist2.iter().sum();
         let chosen = if total <= 0.0 {
@@ -138,7 +140,7 @@ pub fn kmeans(ds: &Dataset, config: &KMeansConfig) -> Result<KMeansResult> {
                 movement += 1.0;
                 continue;
             }
-            for slot in sums[c].iter_mut() {
+            for slot in &mut sums[c] {
                 *slot /= counts[c] as f64;
             }
             movement += sq_dist(&sums[c], &centroids[c]).sqrt();

@@ -13,9 +13,9 @@
 //! type we mark axes whose weight exceeds the uniform share `1/d`; the
 //! harness likewise excludes LAC from subspace scoring.
 
-use mrcc_common::{AxisMask, Dataset, Error, Result, SubspaceCluster, SubspaceClustering};
 use crate::kmeans::KMeansConfig;
 use crate::SubspaceClusterer;
+use mrcc_common::{AxisMask, Dataset, Error, Result, SubspaceCluster, SubspaceClustering};
 
 /// Configuration for [`Lac`].
 #[derive(Debug, Clone, PartialEq)]
@@ -126,7 +126,7 @@ impl Lac {
                 }
                 // Subtract the minimum exponent for numerical stability.
                 let xs: Vec<f64> = x[c].iter().map(|&v| v / counts[c] as f64).collect();
-                let min_x = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let min_x = xs.iter().copied().fold(f64::INFINITY, f64::min);
                 let expw: Vec<f64> = xs
                     .iter()
                     .map(|&v| (-(v - min_x) * self.config.inv_h).exp())

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Clean-room Rust implementations of the subspace / projected clustering
 //! methods MrCC is evaluated against (paper Section IV), plus the plain

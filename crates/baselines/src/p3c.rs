@@ -96,7 +96,10 @@ fn relevant_intervals(ds: &Dataset, axis: usize, threshold: f64) -> Vec<Interval
     let dist = Poisson::new(expected);
     // A bin is marked when observing its count (or more) under the uniform
     // expectation is rarer than the threshold.
-    let marked: Vec<bool> = hist.iter().map(|&c| dist.sf(c as u64) < threshold).collect();
+    let marked: Vec<bool> = hist
+        .iter()
+        .map(|&c| dist.sf(c as u64) < threshold)
+        .collect();
     let width = 1.0 / bins as f64;
     let mut intervals = Vec::new();
     let mut run: Option<usize> = None;
@@ -173,11 +176,7 @@ impl SubspaceClusterer for P3c {
             level += 1;
             let mut next: Vec<Core> = Vec::new();
             for core in &frontier {
-                let max_axis = core
-                    .intervals
-                    .last()
-                    .expect("cores are non-empty")
-                    .axis;
+                let max_axis = core.intervals.last().expect("cores are non-empty").axis;
                 for (iv, &frac) in all_intervals.iter().zip(&fraction) {
                     if iv.axis <= max_axis {
                         continue; // grow in axis order → no duplicates

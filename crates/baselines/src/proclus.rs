@@ -48,7 +48,7 @@ impl ProclusConfig {
             avg_dims,
             pool_factor: 4,
             max_iters: 30,
-            seed: 0x0C1,
+            seed: 0x5EED,
         }
     }
 }
@@ -130,7 +130,7 @@ fn find_dimensions(
                 *slot += (a - b).abs();
             }
         }
-        for v in x.iter_mut() {
+        for v in &mut x {
             *v /= count as f64;
         }
         let mean = x.iter().sum::<f64>() / d as f64;
@@ -372,8 +372,7 @@ mod tests {
         let labels = c.labels();
         let mut even = [0usize; 2];
         let mut odd = [0usize; 2];
-        for i in 0..300 {
-            let l = labels[i];
+        for (i, &l) in labels.iter().enumerate() {
             if l >= 0 {
                 if i % 2 == 0 {
                     even[l as usize] += 1;

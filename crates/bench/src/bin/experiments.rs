@@ -40,7 +40,9 @@ fn main() {
                 opts.out_dir = args.next().expect("--out needs a directory").into();
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--scale F] [--timeout SECS] [--out DIR] <id>... | all");
+                println!(
+                    "usage: experiments [--scale F] [--timeout SECS] [--out DIR] <id>... | all"
+                );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(", "));
                 return;
             }
@@ -48,7 +50,7 @@ fn main() {
         }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        ids = ALL_EXPERIMENTS.iter().map(ToString::to_string).collect();
     }
 
     println!(

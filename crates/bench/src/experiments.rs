@@ -97,7 +97,12 @@ fn group_experiment(specs: Vec<SyntheticSpec>, opts: &ExperimentOptions) -> Vec<
     let mut records = Vec::new();
     for spec in specs {
         let synth = generate_scaled(spec, opts.scale);
-        eprintln!("  dataset {} ({} pts, {}d)", synth.name, synth.dataset.len(), synth.dataset.dims());
+        eprintln!(
+            "  dataset {} ({} pts, {}d)",
+            synth.name,
+            synth.dataset.len(),
+            synth.dataset.dims()
+        );
         for method in MethodKind::all() {
             let r = run_method(method, &synth, opts.budget);
             eprintln!(
@@ -114,7 +119,12 @@ fn group_experiment(specs: Vec<SyntheticSpec>, opts: &ExperimentOptions) -> Vec<
 }
 
 /// Runs one MrCC configuration and labels the record.
-fn run_mrcc_config(label: String, config: MrCCConfig, synth: &Synthetic, budget: Duration) -> RunRecord {
+fn run_mrcc_config(
+    label: String,
+    config: MrCCConfig,
+    synth: &Synthetic,
+    budget: Duration,
+) -> RunRecord {
     let dataset = synth.dataset.clone();
     let outcome = run_with_timeout(budget, move || {
         measure_peak(move || MrCC::new(config).fit(&dataset).map(|r| r.clustering))
@@ -240,7 +250,10 @@ fn ablations(opts: &ExperimentOptions) -> Vec<RunRecord> {
     let spec = SyntheticSpec::new("ablation-8d", 8, 40_000, 4, 0.15, 0xAB1A);
     let synth = generate_scaled(spec, opts.scale.max(0.25));
     let mut variants: Vec<(String, MrCCConfig)> = vec![
-        ("default (face mask, share-50)".into(), MrCCConfig::default()),
+        (
+            "default (face mask, share-50)".into(),
+            MrCCConfig::default(),
+        ),
         (
             "full 3^d mask".into(),
             MrCCConfig {
@@ -315,7 +328,10 @@ fn write_results(id: &str, records: &[RunRecord], opts: &ExperimentOptions) -> i
     std::fs::create_dir_all(&opts.out_dir)?;
     let json = serde_json::to_string_pretty(records).expect("records serialize");
     std::fs::write(opts.out_dir.join(format!("{id}.json")), json)?;
-    std::fs::write(opts.out_dir.join(format!("{id}.md")), render_markdown(id, records))?;
+    std::fs::write(
+        opts.out_dir.join(format!("{id}.md")),
+        render_markdown(id, records),
+    )?;
     Ok(())
 }
 
@@ -331,17 +347,16 @@ fn render_markdown(id: &str, records: &[RunRecord]) -> String {
             methods.push(&r.method);
         }
     }
-    let find = |ds: &str, m: &str| {
-        records
-            .iter()
-            .find(|r| r.dataset == ds && r.method == m)
-    };
+    let find = |ds: &str, m: &str| records.iter().find(|r| r.dataset == ds && r.method == m);
 
     let mut out = String::new();
     let _ = writeln!(out, "# Experiment `{id}`\n");
     type CellFmt = Box<dyn Fn(&RunRecord) -> String>;
     let sections: [(&str, CellFmt); 4] = [
-        ("Quality", Box::new(|r: &RunRecord| format!("{:.3}", r.quality))),
+        (
+            "Quality",
+            Box::new(|r: &RunRecord| format!("{:.3}", r.quality)),
+        ),
         (
             "Subspaces Quality",
             Box::new(|r: &RunRecord| {
@@ -361,9 +376,7 @@ fn render_markdown(id: &str, records: &[RunRecord]) -> String {
         ),
         (
             "Peak memory (KB)",
-            Box::new(|r: &RunRecord| {
-                r.peak_kb.map_or("-".to_string(), |m| format!("{m:.0}"))
-            }),
+            Box::new(|r: &RunRecord| r.peak_kb.map_or("-".to_string(), |m| format!("{m:.0}"))),
         ),
     ];
     for (title, fmt) in sections {
@@ -431,7 +444,11 @@ mod tests {
         assert!(methods.contains("MrCC") && methods.contains("P3C"));
         // Every record carries timing unless it timed out.
         for r in &records {
-            assert!(r.timed_out || r.seconds.is_some(), "{} missing time", r.method);
+            assert!(
+                r.timed_out || r.seconds.is_some(),
+                "{} missing time",
+                r.method
+            );
         }
     }
 

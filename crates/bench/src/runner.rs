@@ -10,7 +10,7 @@ use mrcc_baselines::{
 use mrcc_common::SubspaceClustering;
 use mrcc_datagen::Synthetic;
 use mrcc_eval::{measure_peak, quality, run_with_timeout, subspace_quality, Timeout};
-use serde::Serialize;
+use serde_json::{ToJson, Value};
 
 /// The methods of the paper's comparison (Section IV-E tuning).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,7 +117,7 @@ impl SubspaceClusterer for MrCCClusterer {
 }
 
 /// One (dataset, method) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Dataset name.
     pub dataset: String,
@@ -140,6 +140,28 @@ pub struct RunRecord {
     pub clusters_found: usize,
     /// Whether the run missed its budget.
     pub timed_out: bool,
+}
+
+// Hand-written because the offline serde_json stand-in has no derive macros
+// (see vendor/serde_json).
+impl ToJson for RunRecord {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("dataset".to_string(), self.dataset.to_json()),
+            ("method".to_string(), self.method.to_json()),
+            ("n_points".to_string(), self.n_points.to_json()),
+            ("dims".to_string(), self.dims.to_json()),
+            ("quality".to_string(), self.quality.to_json()),
+            (
+                "subspace_quality".to_string(),
+                self.subspace_quality.to_json(),
+            ),
+            ("seconds".to_string(), self.seconds.to_json()),
+            ("peak_kb".to_string(), self.peak_kb.to_json()),
+            ("clusters_found".to_string(), self.clusters_found.to_json()),
+            ("timed_out".to_string(), self.timed_out.to_json()),
+        ])
+    }
 }
 
 /// Runs one method on one synthetic workload under a budget.

@@ -29,7 +29,10 @@ pub fn scatter_svg(
     axis_y: usize,
     size_px: u32,
 ) -> String {
-    assert!(axis_x < ds.dims() && axis_y < ds.dims(), "axis out of range");
+    assert!(
+        axis_x < ds.dims() && axis_y < ds.dims(),
+        "axis out of range"
+    );
     assert_eq!(ds.len(), clustering.n_points(), "clustering mismatch");
     let labels = clustering.labels();
     let s = size_px as f64;
@@ -164,10 +167,17 @@ mod tests {
             .lines()
             .filter(|l| l.contains("<circle"))
             .map(|l| {
-                l.split("cy=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap()
+                l.split("cy=\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
             })
             .collect();
-        let min_cy = cys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_cy = cys.iter().copied().fold(f64::INFINITY, f64::min);
         // Noise drawn first: order is [noise(0.5), c0(0.2), c0(0.25), c1(0.9)].
         assert!((cys[3] - min_cy).abs() < 1e-9);
     }

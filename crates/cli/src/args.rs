@@ -251,7 +251,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -285,8 +285,19 @@ mod tests {
     #[test]
     fn cluster_full_flags() {
         let c = parse_args(&v(&[
-            "cluster", "--input", "a.csv", "--output", "b.csv", "--method", "lac", "--clusters",
-            "7", "--alpha", "1e-5", "--json", "true",
+            "cluster",
+            "--input",
+            "a.csv",
+            "--output",
+            "b.csv",
+            "--method",
+            "lac",
+            "--clusters",
+            "7",
+            "--alpha",
+            "1e-5",
+            "--json",
+            "true",
         ]))
         .unwrap();
         match c {
@@ -310,8 +321,7 @@ mod tests {
 
     #[test]
     fn k_requiring_methods_enforce_clusters() {
-        let err = parse_args(&v(&["cluster", "--input", "a.csv", "--method", "harp"]))
-            .unwrap_err();
+        let err = parse_args(&v(&["cluster", "--input", "a.csv", "--method", "harp"])).unwrap_err();
         assert!(err.contains("--clusters"));
     }
 
@@ -327,10 +337,7 @@ mod tests {
 
     #[test]
     fn duplicate_flags_rejected() {
-        let err = parse_args(&v(&[
-            "cluster", "--input", "a.csv", "--input", "b.csv",
-        ]))
-        .unwrap_err();
+        let err = parse_args(&v(&["cluster", "--input", "a.csv", "--input", "b.csv"])).unwrap_err();
         assert!(err.contains("twice"));
     }
 
@@ -339,10 +346,24 @@ mod tests {
         let err = parse_args(&v(&["generate", "--dims", "5"])).unwrap_err();
         assert!(err.contains("--points"));
         let ok = parse_args(&v(&[
-            "generate", "--dims", "5", "--points", "100", "--clusters", "2",
+            "generate",
+            "--dims",
+            "5",
+            "--points",
+            "100",
+            "--clusters",
+            "2",
         ]))
         .unwrap();
-        assert!(matches!(ok, Command::Generate { dims: 5, points: 100, clusters: 2, .. }));
+        assert!(matches!(
+            ok,
+            Command::Generate {
+                dims: 5,
+                points: 100,
+                clusters: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -37,7 +37,16 @@ pub fn run(command: Command, out: &mut dyn Write) -> CliResult<()> {
             rotations,
             seed,
             output,
-        } => generate_cmd(dims, points, clusters, noise, rotations, seed, output.as_deref(), out),
+        } => generate_cmd(
+            dims,
+            points,
+            clusters,
+            noise,
+            rotations,
+            seed,
+            output.as_deref(),
+            out,
+        ),
         Command::Evaluate { found, truth, json } => evaluate(&found, &truth, json, out),
         Command::Cluster {
             input,
@@ -126,7 +135,12 @@ fn generate_cmd(
     Ok(())
 }
 
-fn evaluate(found_path: &Path, truth_path: &Path, json: bool, out: &mut dyn Write) -> CliResult<()> {
+fn evaluate(
+    found_path: &Path,
+    truth_path: &Path,
+    json: bool,
+    out: &mut dyn Write,
+) -> CliResult<()> {
     let (found_ds, found_labels) = csv::read_labeled_dataset_file(found_path)
         .map_err(|e| format!("{}: {e}", found_path.display()))?;
     let (truth_ds, truth_labels) = csv::read_labeled_dataset_file(truth_path)
@@ -241,8 +255,13 @@ fn cluster(
         .map_err(|e| e.to_string())?;
         for (i, c) in clustering.clusters().iter().enumerate() {
             let axes: Vec<String> = c.axes.iter().map(|j| format!("e{}", j + 1)).collect();
-            writeln!(out, "  cluster {i}: {} points, axes {{{}}}", c.len(), axes.join(","))
-                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "  cluster {i}: {} points, axes {{{}}}",
+                c.len(),
+                axes.join(",")
+            )
+            .map_err(|e| e.to_string())?;
         }
     }
 
@@ -259,10 +278,7 @@ fn fit(method: &dyn SubspaceClusterer, ds: &Dataset) -> CliResult<SubspaceCluste
 }
 
 /// Convenience used by tests and the quality gate in `evaluate`.
-pub fn subspace_quality_of(
-    found: &SubspaceClustering,
-    truth: &SubspaceClustering,
-) -> f64 {
+pub fn subspace_quality_of(found: &SubspaceClustering, truth: &SubspaceClustering) -> f64 {
     subspace_quality(found, truth).quality
 }
 
@@ -278,7 +294,7 @@ mod tests {
     }
 
     fn sv(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(ToString::to_string).collect()
     }
 
     fn run_str(args: &[&str]) -> CliResult<String> {
@@ -297,8 +313,17 @@ mod tests {
 
         // generate
         let msg = run_str(&[
-            "generate", "--dims", "6", "--points", "4000", "--clusters", "2", "--seed", "7",
-            "--output", data_s,
+            "generate",
+            "--dims",
+            "6",
+            "--points",
+            "4000",
+            "--clusters",
+            "2",
+            "--seed",
+            "7",
+            "--output",
+            data_s,
         ])
         .unwrap();
         assert!(msg.contains("4000 points"));
@@ -346,8 +371,17 @@ mod tests {
     fn cluster_json_output_is_valid_json() {
         let data = tmp("json.csv");
         run_str(&[
-            "generate", "--dims", "5", "--points", "2000", "--clusters", "2", "--seed", "3",
-            "--output", data.to_str().unwrap(),
+            "generate",
+            "--dims",
+            "5",
+            "--points",
+            "2000",
+            "--clusters",
+            "2",
+            "--seed",
+            "3",
+            "--output",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let (ds, _) = csv::read_labeled_dataset_file(&data).unwrap();
@@ -370,8 +404,17 @@ mod tests {
     fn baseline_methods_run_via_cli() {
         let data = tmp("methods.csv");
         run_str(&[
-            "generate", "--dims", "5", "--points", "1500", "--clusters", "2", "--seed", "9",
-            "--output", data.to_str().unwrap(),
+            "generate",
+            "--dims",
+            "5",
+            "--points",
+            "1500",
+            "--clusters",
+            "2",
+            "--seed",
+            "9",
+            "--output",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let (ds, _) = csv::read_labeled_dataset_file(&data).unwrap();
@@ -408,12 +451,26 @@ mod tests {
         let a = tmp("mismatch_a.csv");
         let b = tmp("mismatch_b.csv");
         run_str(&[
-            "generate", "--dims", "4", "--points", "100", "--clusters", "1", "--output",
+            "generate",
+            "--dims",
+            "4",
+            "--points",
+            "100",
+            "--clusters",
+            "1",
+            "--output",
             a.to_str().unwrap(),
         ])
         .unwrap();
         run_str(&[
-            "generate", "--dims", "4", "--points", "200", "--clusters", "1", "--output",
+            "generate",
+            "--dims",
+            "4",
+            "--points",
+            "200",
+            "--clusters",
+            "1",
+            "--output",
             b.to_str().unwrap(),
         ])
         .unwrap();

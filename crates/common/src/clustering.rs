@@ -149,6 +149,44 @@ impl SubspaceClustering {
     pub fn n_clustered(&self) -> usize {
         self.clusters.iter().map(SubspaceCluster::len).sum()
     }
+
+    /// Re-verifies the structural invariants of Definition 2 on the stored
+    /// state: member indices in range, member lists sorted and duplicate-free,
+    /// axis masks of the embedding width, and pairwise-disjoint point sets.
+    ///
+    /// [`SubspaceClustering::new`] establishes these properties at
+    /// construction; this method re-checks them after the fact so property
+    /// tests can catch any code path that mutates a clustering into an
+    /// inconsistent state. Compiled only with the `strict-invariants` feature.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.n_points];
+        for (k, c) in self.clusters.iter().enumerate() {
+            assert_eq!(
+                c.axes.dims(),
+                self.dims,
+                "invariant violated: cluster {k} axis mask has wrong dimensionality"
+            );
+            assert!(
+                c.points.windows(2).all(|w| w[0] < w[1]),
+                "invariant violated: cluster {k} member list not sorted-unique"
+            );
+            for &p in &c.points {
+                assert!(
+                    p < self.n_points,
+                    "invariant violated: cluster {k} member {p} out of range"
+                );
+                assert!(
+                    !seen[p],
+                    "invariant violated: point {p} assigned to two clusters"
+                );
+                seen[p] = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset> {
 /// (`-1` = noise). Returns the feature dataset and the label vector.
 pub fn read_labeled_dataset<R: Read>(reader: R) -> Result<(Dataset, Vec<i32>)> {
     let (ds, labels) = read_rows(reader, true)?;
-    Ok((ds, labels.expect("labels requested")))
+    Ok((
+        ds,
+        labels.expect("read_rows(labeled=true) returns labels invariant"),
+    ))
 }
 
 fn read_rows<R: Read>(reader: R, labeled: bool) -> Result<(Dataset, Option<Vec<i32>>)> {

@@ -267,7 +267,10 @@ mod tests {
         ds.push(&[1.0, 2.0]).unwrap();
         assert!(matches!(
             ds.push(&[1.0]),
-            Err(Error::DimensionMismatch { expected: 2, got: 1 })
+            Err(Error::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

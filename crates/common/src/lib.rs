@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Common dataset substrate for the MrCC reproduction.
 //!
@@ -22,7 +23,9 @@ pub mod clustering;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod float;
 pub mod mask;
+pub mod num;
 
 pub use bbox::BoundingBox;
 pub use clustering::{SubspaceCluster, SubspaceClustering, NOISE};

@@ -41,7 +41,11 @@ impl AxisMask {
     /// The full axis set `{e_1, …, e_d}`.
     pub fn full(dims: usize) -> Self {
         let mut m = AxisMask::empty(dims);
-        m.bits = if dims == 64 { u64::MAX } else { (1u64 << dims) - 1 };
+        m.bits = if dims == 64 {
+            u64::MAX
+        } else {
+            (1u64 << dims) - 1
+        };
         m
     }
 

@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1usize..=6).prop_flat_map(|d| {
-        proptest::collection::vec(
-            proptest::collection::vec(-1e6f64..1e6, d..=d),
-            1..60,
-        )
+        proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, d..=d), 1..60)
     })
 }
 
@@ -87,6 +84,24 @@ proptest! {
         prop_assert!(h.contains(&lo));
         prop_assert!(h.contains(&hi));
         prop_assert!(h.contains(&[0.0, 0.0]) && h.contains(&[1.0, 1.0]));
+    }
+
+    /// Clusterings built from arbitrary label vectors satisfy the structural
+    /// invariants of Definition 2 and round-trip through `labels()`.
+    #[test]
+    fn clustering_from_labels_is_valid(
+        labels in proptest::collection::vec(-1i32..4, 1..80),
+        d in 1usize..=8,
+    ) {
+        use mrcc_common::SubspaceClustering;
+        let masks: Vec<AxisMask> = (0..4).map(|k| {
+            AxisMask::from_axes(d, [k % d])
+        }).collect();
+        let c = SubspaceClustering::from_labels(&labels, &masks, d);
+        #[cfg(feature = "strict-invariants")]
+        c.check_invariants();
+        prop_assert_eq!(c.n_points(), labels.len());
+        prop_assert!(c.n_clustered() + c.noise().len() == labels.len());
     }
 
     /// AxisMask set algebra: union/intersection counts and De Morgan-ish

@@ -64,8 +64,7 @@ impl BetaCluster {
     /// rotated) cluster share their confined directions, so genuine merges
     /// keep happening.
     pub fn shares_space(&self, other: &BetaCluster) -> bool {
-        self.axes.intersection_count(&other.axes) > 0
-            && self.bounds.overlaps_strict(&other.bounds)
+        self.axes.intersection_count(&other.axes) > 0 && self.bounds.overlaps_strict(&other.bounds)
     }
 
     /// Cluster dimensionality `δ`.
@@ -123,10 +122,7 @@ mod tests {
             relevance: 50.0,
         };
         assert!(s.significant());
-        let s2 = AxisStats {
-            center: 24,
-            ..s
-        };
+        let s2 = AxisStats { center: 24, ..s };
         assert!(!s2.significant());
     }
 

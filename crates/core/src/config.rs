@@ -9,10 +9,10 @@
 
 use mrcc_common::{Error, Result};
 use mrcc_counting_tree::{MAX_RESOLUTIONS, MIN_RESOLUTIONS};
-use serde::{Deserialize, Serialize};
+use serde_json::{FromJson, ToJson, Value};
 
 /// Which Laplacian mask the β-cluster search convolves with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaskKind {
     /// Order-3 mask with non-zero entries only at the centre (`2d`) and the
     /// `2d` face elements (`−1`) — the paper's choice, `O(d)` per cell.
@@ -29,7 +29,7 @@ pub enum MaskKind {
 /// The relevance `r[j] = 100·cP_j / nP_j` is the share of the six-region
 /// neighborhood's mass that sits in the centre region; the uniform null puts
 /// ≈16.7 % there, so the statistic has an *absolute* scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AxisSelection {
     /// MDL-tuned threshold over the sorted relevances — the paper's method
     /// (floored by [`MrCCConfig::relevance_floor`]). The two-partition MDL
@@ -51,7 +51,7 @@ pub enum AxisSelection {
 }
 
 /// Full configuration for [`crate::MrCC`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MrCCConfig {
     /// Significance level `α` of the one-sided binomial test: the probability
     /// of wrongly rejecting the uniform null per axis. Paper default `1e−10`.
@@ -139,6 +139,88 @@ impl MrCCConfig {
     }
 }
 
+// Hand-written JSON round-trip impls: the offline serde_json stand-in has no
+// derive macros (see vendor/serde_json). Shapes mirror what serde's derive
+// would emit: unit variants as strings, newtype variants as 1-key objects.
+
+impl ToJson for MaskKind {
+    fn to_json(&self) -> Value {
+        match self {
+            MaskKind::FaceOnly => Value::String("FaceOnly".to_string()),
+            MaskKind::Full => Value::String("Full".to_string()),
+        }
+    }
+}
+
+impl FromJson for MaskKind {
+    fn from_json(value: &Value) -> std::result::Result<Self, serde_json::Error> {
+        match value.as_str() {
+            Some("FaceOnly") => Ok(MaskKind::FaceOnly),
+            Some("Full") => Ok(MaskKind::Full),
+            _ => Err(serde_json::Error::msg(format!(
+                "expected \"FaceOnly\" or \"Full\", got {value}"
+            ))),
+        }
+    }
+}
+
+impl ToJson for AxisSelection {
+    fn to_json(&self) -> Value {
+        match self {
+            AxisSelection::Mdl => Value::String("Mdl".to_string()),
+            AxisSelection::Share(t) => {
+                Value::Object(vec![("Share".to_string(), Value::Number(*t))])
+            }
+        }
+    }
+}
+
+impl FromJson for AxisSelection {
+    fn from_json(value: &Value) -> std::result::Result<Self, serde_json::Error> {
+        if value.as_str() == Some("Mdl") {
+            return Ok(AxisSelection::Mdl);
+        }
+        if let Some(share) = value.get("Share").and_then(Value::as_f64) {
+            return Ok(AxisSelection::Share(share));
+        }
+        Err(serde_json::Error::msg(format!(
+            "expected \"Mdl\" or {{\"Share\": t}}, got {value}"
+        )))
+    }
+}
+
+impl ToJson for MrCCConfig {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("alpha".to_string(), self.alpha.to_json()),
+            ("resolutions".to_string(), self.resolutions.to_json()),
+            ("mask".to_string(), self.mask.to_json()),
+            ("axis_selection".to_string(), self.axis_selection.to_json()),
+            (
+                "relevance_floor".to_string(),
+                self.relevance_floor.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for MrCCConfig {
+    fn from_json(value: &Value) -> std::result::Result<Self, serde_json::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde_json::Error::msg(format!("missing field `{name}`")))
+        };
+        Ok(MrCCConfig {
+            alpha: f64::from_json(field("alpha")?)?,
+            resolutions: usize::from_json(field("resolutions")?)?,
+            mask: MaskKind::from_json(field("mask")?)?,
+            axis_selection: AxisSelection::from_json(field("axis_selection")?)?,
+            relevance_floor: f64::from_json(field("relevance_floor")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,8 +251,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_relevance_floor() {
-        let mut c = MrCCConfig::default();
-        c.relevance_floor = 100.0;
+        let mut c = MrCCConfig {
+            relevance_floor: 100.0,
+            ..MrCCConfig::default()
+        };
         assert!(c.validate().is_err());
         c.relevance_floor = -1.0;
         assert!(c.validate().is_err());
@@ -180,8 +264,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_share_threshold() {
-        let mut c = MrCCConfig::default();
-        c.axis_selection = AxisSelection::Share(0.0);
+        let mut c = MrCCConfig {
+            axis_selection: AxisSelection::Share(0.0),
+            ..MrCCConfig::default()
+        };
         assert!(c.validate().is_err());
         c.axis_selection = AxisSelection::Share(101.0);
         assert!(c.validate().is_err());

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! **MrCC — Multi-resolution Correlation Clustering** (Cordeiro, Traina,
 //! Faloutsos, Traina Jr., ICDE 2010).

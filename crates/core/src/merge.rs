@@ -76,10 +76,7 @@ pub fn build_correlation_clusters(
 ) -> (Vec<CorrelationCluster>, SubspaceClustering) {
     let dims = dataset.dims();
     if betas.is_empty() {
-        return (
-            Vec::new(),
-            SubspaceClustering::empty(dataset.len(), dims),
-        );
+        return (Vec::new(), SubspaceClustering::empty(dataset.len(), dims));
     }
 
     // Pairwise share-space → union (Algorithm 3, lines 1–5), with a
@@ -260,7 +257,7 @@ mod tests {
         ];
         let (clusters, clustering) = build_correlation_clusters(&ds, &betas);
         assert_eq!(clusters.len(), 2);
-        let total: usize = clustering.clusters().iter().map(|c| c.len()).sum();
+        let total: usize = clustering.clusters().iter().map(SubspaceCluster::len).sum();
         assert_eq!(total + clustering.noise().len(), ds.len());
     }
 

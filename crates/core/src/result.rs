@@ -59,6 +59,71 @@ impl MrCCResult {
         }
         1.0 - self.clustering.n_clustered() as f64 / self.clustering.n_points() as f64
     }
+
+    /// Re-verifies the cross-structure invariants of a finished fit:
+    ///
+    /// * the point partition satisfies the [`SubspaceClustering`] invariants
+    ///   (disjoint hard labels, in-range members);
+    /// * every β-cluster box lies inside the unit cube with `L[j] ≤ U[j]`
+    ///   per axis and carries at least one relevant axis;
+    /// * every correlation cluster references valid β-cluster indices
+    ///   (sorted, unique), its axis set covers the union of its members'
+    ///   axes, and its hull has the embedding dimensionality.
+    ///
+    /// Compiled only with the `strict-invariants` feature; call from tests
+    /// after `fit`.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_invariants(&self) {
+        self.clustering.check_invariants();
+        let d = self.clustering.dims();
+        for (k, b) in self.beta_clusters.iter().enumerate() {
+            assert_eq!(
+                b.bounds.dims(),
+                d,
+                "invariant violated: β-cluster {k} box has wrong dimensionality"
+            );
+            assert!(
+                b.axes.count() > 0,
+                "invariant violated: β-cluster {k} has no relevant axis"
+            );
+            for j in 0..d {
+                let (lo, hi) = (b.bounds.lower(j), b.bounds.upper(j));
+                assert!(
+                    lo <= hi,
+                    "invariant violated: β-cluster {k} axis {j} has inverted bounds [{lo}, {hi}]"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi),
+                    "invariant violated: β-cluster {k} axis {j} bounds [{lo}, {hi}] leave the unit cube"
+                );
+            }
+        }
+        for (k, c) in self.clusters.iter().enumerate() {
+            assert!(
+                c.beta_indices.windows(2).all(|w| w[0] < w[1]),
+                "invariant violated: correlation cluster {k} member list not sorted-unique"
+            );
+            assert_eq!(
+                c.hull.dims(),
+                d,
+                "invariant violated: correlation cluster {k} hull has wrong dimensionality"
+            );
+            for &bi in &c.beta_indices {
+                assert!(
+                    bi < self.beta_clusters.len(),
+                    "invariant violated: correlation cluster {k} references β-cluster {bi}"
+                );
+                let member = &self.beta_clusters[bi];
+                assert!(
+                    member.axes.iter().all(|j| c.axes.contains(j)),
+                    "invariant violated: correlation cluster {k} axes do not cover member {bi}"
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -80,12 +80,7 @@ fn shares_space_with_any(cell: &Cell, side: f64, dims: usize, betas: &[BetaClust
 }
 
 /// Statistics of the six-region neighborhood of `winner` along every axis.
-fn neighborhood_stats(
-    tree: &CountingTree,
-    h: usize,
-    winner: CellId,
-    alpha: f64,
-) -> Vec<AxisStats> {
+fn neighborhood_stats(tree: &CountingTree, h: usize, winner: CellId, alpha: f64) -> Vec<AxisStats> {
     let dims = tree.dims();
     let level = tree.level(h);
     let cell = level.cell(winner);
@@ -93,7 +88,7 @@ fn neighborhood_stats(
     let parent_coords = cell.parent_coords();
     let parent_id = parent_level
         .find(&parent_coords)
-        .expect("parent of a non-empty cell is non-empty");
+        .expect("tree structure invariant: the parent of a non-empty cell is non-empty");
     let parent = parent_level.cell(parent_id);
 
     (0..dims)
@@ -148,17 +143,15 @@ fn confirm_beta_cluster(
     let cut = match config.axis_selection {
         AxisSelection::Mdl => {
             let mut ordered: Vec<f64> = stats.iter().map(|s| s.relevance).collect();
-            ordered.sort_by(|a, b| a.partial_cmp(b).expect("relevances are finite"));
+            ordered.sort_by(|a, b| {
+                a.partial_cmp(b)
+                    .expect("relevance ratios are finite by construction invariant")
+            });
             mdl_cut(&ordered).threshold.max(config.relevance_floor)
         }
         AxisSelection::Share(t) => t,
     };
-    let axes = AxisMask::from_bools(
-        &stats
-            .iter()
-            .map(|s| s.relevance >= cut)
-            .collect::<Vec<_>>(),
-    );
+    let axes = AxisMask::from_bools(&stats.iter().map(|s| s.relevance >= cut).collect::<Vec<_>>());
     if axes.is_empty() {
         // Statistically significant but with no usable effect on any axis —
         // a diffuse bump, not a cluster.
@@ -264,7 +257,11 @@ mod tests {
         let ds = Dataset::from_rows(&rows).unwrap();
         let mut tree = CountingTree::build(&ds, 4).unwrap();
         let betas = find_beta_clusters(&mut tree, &MrCCConfig::default());
-        assert!(betas.is_empty(), "found {} spurious β-clusters", betas.len());
+        assert!(
+            betas.is_empty(),
+            "found {} spurious β-clusters",
+            betas.len()
+        );
     }
 
     #[test]

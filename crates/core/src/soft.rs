@@ -108,7 +108,10 @@ impl MrCCResult {
                     .iter()
                     .filter(|&&m| self.beta_clusters[m].bounds.contains(p))
                     .map(|&m| box_density[m])
-                    .max_by(|a, b| a.partial_cmp(b).expect("finite densities"));
+                    .max_by(|a, b| {
+                        a.partial_cmp(b)
+                            .expect("box densities are finite by construction invariant")
+                    });
                 if let Some(score) = best {
                     candidates.push((k, score));
                 }
@@ -127,10 +130,13 @@ impl MrCCResult {
                 .map(|(k, s)| (k, (s - max_score).exp()))
                 .collect();
             let total: f64 = weights.iter().map(|&(_, w)| w).sum();
-            for (_, w) in weights.iter_mut() {
+            for (_, w) in &mut weights {
                 *w /= total;
             }
-            weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            weights.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("softmax weights are finite and nonnegative invariant")
+            });
             memberships.push(weights);
         }
         SoftClustering {
@@ -156,14 +162,8 @@ mod tests {
         };
         let mut rows = Vec::new();
         for _ in 0..800 {
-            rows.push([
-                0.30 + 0.04 * (next() - 0.5),
-                0.30 + 0.04 * (next() - 0.5),
-            ]);
-            rows.push([
-                0.42 + 0.04 * (next() - 0.5),
-                0.42 + 0.04 * (next() - 0.5),
-            ]);
+            rows.push([0.30 + 0.04 * (next() - 0.5), 0.30 + 0.04 * (next() - 0.5)]);
+            rows.push([0.42 + 0.04 * (next() - 0.5), 0.42 + 0.04 * (next() - 0.5)]);
         }
         for _ in 0..200 {
             rows.push([next() * 0.99, next() * 0.99]);
@@ -219,7 +219,10 @@ mod tests {
         let result = MrCC::default().fit(&ds).unwrap();
         let soft = result.soft_memberships(&ds);
         for &i in result.clustering.noise().iter().take(50) {
-            assert!(soft.memberships(i).is_empty(), "noise point {i} got weights");
+            assert!(
+                soft.memberships(i).is_empty(),
+                "noise point {i} got weights"
+            );
         }
     }
 

@@ -7,18 +7,9 @@ use proptest::prelude::*;
 
 /// Strategy over small synthetic workloads.
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (3usize..=10, 1usize..=3, 0u64..1000, 0.0f64..0.3).prop_map(
-        |(dims, clusters, seed, noise)| {
-            SyntheticSpec::new(
-                format!("prop-{seed}"),
-                dims,
-                2_000,
-                clusters,
-                noise,
-                seed,
-            )
-        },
-    )
+    (3usize..=10, 1usize..=3, 0u64..1000, 0.0f64..0.3).prop_map(|(dims, clusters, seed, noise)| {
+        SyntheticSpec::new(format!("prop-{seed}"), dims, 2_000, clusters, noise, seed)
+    })
 }
 
 proptest! {
@@ -30,13 +21,15 @@ proptest! {
     fn output_is_a_partition(spec in spec_strategy()) {
         let synth = generate(&spec);
         let result = MrCC::default().fit(&synth.dataset).unwrap();
+        #[cfg(feature = "strict-invariants")]
+        result.check_invariants();
         let labels = result.clustering.labels();
         prop_assert_eq!(labels.len(), synth.dataset.len());
         let k = result.clustering.len() as i32;
         for &l in &labels {
             prop_assert!(l == NOISE || (0..k).contains(&l));
         }
-        let clustered: usize = result.clustering.clusters().iter().map(|c| c.len()).sum();
+        let clustered: usize = result.clustering.clusters().iter().map(mrcc_common::SubspaceCluster::len).sum();
         prop_assert_eq!(clustered + result.clustering.noise().len(), labels.len());
         for (cluster, report) in result.clustering.clusters().iter().zip(&result.clusters) {
             prop_assert_eq!(cluster.len(), report.size);
@@ -63,7 +56,7 @@ proptest! {
         for beta in &result.beta_clusters {
             prop_assert!(!beta.axes.is_empty());
             prop_assert_eq!(beta.axis_stats.len(), d);
-            prop_assert!(beta.axis_stats.iter().any(|s| s.significant()));
+            prop_assert!(beta.axis_stats.iter().any(mrcc::beta::AxisStats::significant));
             for j in 0..d {
                 prop_assert!(beta.bounds.lower(j) >= 0.0);
                 prop_assert!(beta.bounds.upper(j) <= 1.0);

@@ -4,6 +4,8 @@
 //! and `ptr` are subsumed by the absolute grid coordinates (see the crate
 //! docs); `n`, `P[d]` and `usedCell` are stored verbatim.
 
+use mrcc_common::num::grid_to_f64;
+
 /// Index of a cell within its level's arena.
 pub type CellId = u32;
 
@@ -97,18 +99,18 @@ impl Cell {
     /// Lower bound of the cell on axis `e_j`, given the level's cell side.
     #[inline]
     pub fn lower_bound(&self, j: usize, side: f64) -> f64 {
-        self.coords[j] as f64 * side
+        grid_to_f64(self.coords[j]) * side
     }
 
     /// Upper bound of the cell on axis `e_j`, given the level's cell side.
     #[inline]
     pub fn upper_bound(&self, j: usize, side: f64) -> f64 {
-        (self.coords[j] + 1) as f64 * side
+        grid_to_f64(self.coords[j] + 1) * side
     }
 
     /// Approximate heap footprint in bytes (for the memory experiments).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Cell>() + (self.coords.len() + self.p.len()) * 8
+        size_of::<Cell>() + (self.coords.len() + self.p.len()) * 8
     }
 }
 

@@ -7,6 +7,7 @@
 //! in a crate. HashDoS resistance is irrelevant: keys come from our own grid
 //! arithmetic, not from untrusted input.
 
+use mrcc_common::num::usize_to_u64;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplier from the Fx hash (derived from the golden ratio, 64-bit).
@@ -32,7 +33,10 @@ impl Hasher for FxHasher {
         // byte path only serves odd callers (e.g. Hash derives with padding).
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+            let word = c
+                .try_into()
+                .expect("chunks_exact(8) length invariant: every chunk is 8 bytes");
+            self.add_to_hash(u64::from_le_bytes(word));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -49,17 +53,17 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_usize(&mut self, i: usize) {
-        self.add_to_hash(i as u64);
+        self.add_to_hash(usize_to_u64(i));
     }
 
     #[inline]
     fn write_u32(&mut self, i: u32) {
-        self.add_to_hash(i as u64);
+        self.add_to_hash(u64::from(i));
     }
 
     #[inline]
     fn write_u8(&mut self, i: u8) {
-        self.add_to_hash(i as u64);
+        self.add_to_hash(u64::from(i));
     }
 
     #[inline]

@@ -8,6 +8,7 @@
 
 use crate::cell::{Cell, CellId};
 use crate::hasher::FxHashMap;
+use mrcc_common::num::{bounded_to_u32, powi_exp, u32_to_usize};
 
 /// Direction of a face neighbor along one axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +46,7 @@ impl Level {
     #[inline]
     pub fn side(&self) -> f64 {
         // Exact for h ≤ 1023; h is capped far below that.
-        (0.5f64).powi(self.h as i32)
+        (0.5f64).powi(powi_exp(u32_to_usize(self.h)))
     }
 
     /// Number of grid positions per axis (`2^h`), saturating at `u64::MAX`.
@@ -66,7 +67,7 @@ impl Level {
     /// Panics on an out-of-range id.
     #[inline]
     pub fn cell(&self, id: CellId) -> &Cell {
-        &self.cells[id as usize]
+        &self.cells[u32_to_usize(id)]
     }
 
     /// Iterate over `(id, cell)` pairs in arena order.
@@ -74,7 +75,7 @@ impl Level {
         self.cells
             .iter()
             .enumerate()
-            .map(|(i, c)| (i as CellId, c))
+            .map(|(i, c)| (bounded_to_u32(i), c))
     }
 
     /// Look up the cell at the given absolute coordinates.
@@ -115,7 +116,7 @@ impl Level {
 
     /// Marks a cell's `usedCell` flag.
     pub fn set_used(&mut self, id: CellId, used: bool) {
-        self.cells[id as usize].set_used(used);
+        self.cells[u32_to_usize(id)].set_used(used);
     }
 
     /// Fetches the cell at `coords`, materializing it if absent, and returns
@@ -124,7 +125,7 @@ impl Level {
         if let Some(&id) = self.index.get(coords) {
             return id;
         }
-        let id = self.cells.len() as CellId;
+        let id = bounded_to_u32(self.cells.len());
         let key: Box<[u64]> = coords.into();
         self.cells.push(Cell::new(key.clone()));
         self.index.insert(key, id);
@@ -132,7 +133,7 @@ impl Level {
     }
 
     pub(crate) fn cell_mut(&mut self, id: CellId) -> &mut Cell {
-        &mut self.cells[id as usize]
+        &mut self.cells[u32_to_usize(id)]
     }
 
     /// Sum of point counts over all cells (must equal `η`; used by tests and
@@ -146,8 +147,8 @@ impl Level {
         let cells: usize = self.cells.iter().map(Cell::memory_bytes).sum();
         // Index entries: key box + id + bucket overhead (~1.1 load factor).
         let d = self.cells.first().map_or(0, |c| c.coords().len());
-        let index = self.index.len() * (d * 8 + std::mem::size_of::<(Box<[u64]>, CellId)>());
-        cells + index + std::mem::size_of::<Level>()
+        let index = self.index.len() * (d * 8 + size_of::<(Box<[u64]>, CellId)>());
+        cells + index + size_of::<Level>()
     }
 }
 

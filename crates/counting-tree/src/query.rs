@@ -8,6 +8,7 @@
 //! by overlap volume.
 
 use crate::tree::CountingTree;
+use mrcc_common::num::{count_to_f64, trunc_to_u64};
 
 /// How close to a grid line a bound must sit to count as aligned.
 const ALIGN_EPS: f64 = 1e-9;
@@ -40,8 +41,8 @@ impl CountingTree {
             if (l - l.round()).abs() > ALIGN_EPS || (u - u.round()).abs() > ALIGN_EPS {
                 return None;
             }
-            lo.push((l.round() as u64).min(extent));
-            hi.push((u.round() as u64).min(extent));
+            lo.push(trunc_to_u64(l.round()).min(extent));
+            hi.push(trunc_to_u64(u.round()).min(extent));
         }
 
         let mut total = 0u64;
@@ -82,7 +83,7 @@ impl CountingTree {
                 }
                 fraction *= overlap / side;
             }
-            total += cell.n() as f64 * fraction;
+            total += count_to_f64(cell.n()) * fraction;
         }
         total
     }
@@ -126,7 +127,11 @@ mod tests {
                 let lower = [a as f64 * side, c as f64 * side];
                 let upper = [b as f64 * side, d as f64 * side];
                 let got = tree.count_in_aligned_box(h, &lower, &upper).unwrap();
-                assert_eq!(got, brute(&ds, &lower, &upper), "h={h} box {lower:?}..{upper:?}");
+                assert_eq!(
+                    got,
+                    brute(&ds, &lower, &upper),
+                    "h={h} box {lower:?}..{upper:?}"
+                );
             }
         }
     }
@@ -135,7 +140,9 @@ mod tests {
     fn whole_cube_counts_everything() {
         let ds = dataset();
         let tree = CountingTree::build(&ds, 4).unwrap();
-        let got = tree.count_in_aligned_box(2, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        let got = tree
+            .count_in_aligned_box(2, &[0.0, 0.0], &[1.0, 1.0])
+            .unwrap();
         assert_eq!(got, ds.len() as u64);
     }
 
@@ -143,8 +150,12 @@ mod tests {
     fn off_grid_bounds_return_none() {
         let ds = dataset();
         let tree = CountingTree::build(&ds, 4).unwrap();
-        assert!(tree.count_in_aligned_box(2, &[0.1, 0.0], &[0.5, 1.0]).is_none());
-        assert!(tree.count_in_aligned_box(2, &[0.25, 0.0], &[0.6, 1.0]).is_none());
+        assert!(tree
+            .count_in_aligned_box(2, &[0.1, 0.0], &[0.5, 1.0])
+            .is_none());
+        assert!(tree
+            .count_in_aligned_box(2, &[0.25, 0.0], &[0.6, 1.0])
+            .is_none());
         assert!(tree
             .count_in_aligned_box(2, &[0.25, 0.0], &[0.5, 1.0])
             .is_some());

@@ -1,5 +1,6 @@
 //! Counting-tree construction (Algorithm 1) and whole-tree queries.
 
+use mrcc_common::num::{bounded_to_u32, powi_exp, trunc_to_u64};
 use mrcc_common::{Dataset, Error, Result};
 
 use crate::cell::CellId;
@@ -100,7 +101,7 @@ impl CountingTree {
             dims,
             n_points: 0,
             resolutions,
-            levels: (1..=h_max).map(|h| Level::new(h as u32)).collect(),
+            levels: (1..=h_max).map(|h| Level::new(bounded_to_u32(h))).collect(),
         })
     }
 
@@ -122,7 +123,7 @@ impl CountingTree {
         // Finest "virtual" grid: level h_max + 1, used only to derive the
         // coordinates of every real level (right-shift) and the half-space
         // bit of the deepest level.
-        let fine_scale = (2.0f64).powi(h_max as i32 + 1);
+        let fine_scale = (2.0f64).powi(powi_exp(h_max + 1));
         let mut fine = vec![0u64; d];
         for (j, &v) in point.iter().enumerate() {
             if !(0.0..1.0).contains(&v) {
@@ -133,12 +134,12 @@ impl CountingTree {
                     ),
                 });
             }
-            fine[j] = (v * fine_scale) as u64;
+            fine[j] = trunc_to_u64(v * fine_scale);
         }
         let mut coords = vec![0u64; d];
         for (li, level) in self.levels.iter_mut().enumerate() {
             let h = li + 1;
-            let shift = (h_max + 1 - h) as u32;
+            let shift = bounded_to_u32(h_max + 1 - h);
             for j in 0..d {
                 coords[j] = fine[j] >> shift;
             }
@@ -210,8 +211,78 @@ impl CountingTree {
 
     /// Approximate heap footprint in bytes, for the memory experiments.
     pub fn memory_bytes(&self) -> usize {
-        self.levels.iter().map(Level::memory_bytes).sum::<usize>()
-            + std::mem::size_of::<CountingTree>()
+        self.levels.iter().map(Level::memory_bytes).sum::<usize>() + size_of::<CountingTree>()
+    }
+
+    /// Re-verifies the structural invariants Algorithm 1 is supposed to
+    /// maintain:
+    ///
+    /// * **count conservation** — every materialized level's cell counts sum
+    ///   to `η`, the number of inserted points;
+    /// * **half-space bounds** — per cell, each axis half-count `P[j]` never
+    ///   exceeds the cell count `n`, and coordinates stay inside the level's
+    ///   `2^h` grid;
+    /// * **parent/child containment** — every cell at level `h + 1` has a
+    ///   materialized parent at level `h` (coordinates right-shifted by one)
+    ///   holding at least as many points.
+    ///
+    /// Compiled only with the `strict-invariants` feature; call from tests
+    /// after building or mutating a tree. `O(H · cells · d)`.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_invariants(&self) {
+        let n = mrcc_common::num::usize_to_u64(self.n_points);
+        for level in &self.levels {
+            assert_eq!(
+                level.total_points(),
+                n,
+                "invariant violated: level {} does not conserve the point count",
+                level.h()
+            );
+            let extent = level.grid_extent();
+            for (_, cell) in level.iter() {
+                assert_eq!(
+                    cell.coords().len(),
+                    self.dims,
+                    "invariant violated: level {} cell with wrong coordinate width",
+                    level.h()
+                );
+                assert!(
+                    cell.coords().iter().all(|&c| c < extent),
+                    "invariant violated: level {} cell {:?} outside the 2^h grid",
+                    level.h(),
+                    cell.coords()
+                );
+                for j in 0..self.dims {
+                    assert!(
+                        cell.half_count(j) <= cell.n(),
+                        "invariant violated: level {} cell {:?}: P[{j}] > n",
+                        level.h(),
+                        cell.coords()
+                    );
+                }
+            }
+        }
+        let mut parent_coords = vec![0u64; self.dims];
+        for pair in self.levels.windows(2) {
+            let (parent, child) = (&pair[0], &pair[1]);
+            for (_, cc) in child.iter() {
+                for (slot, &c) in parent_coords.iter_mut().zip(cc.coords()) {
+                    *slot = c >> 1;
+                }
+                let pid = parent.find(&parent_coords).expect(
+                    "tree containment invariant: every child cell has a materialized parent",
+                );
+                assert!(
+                    parent.cell(pid).n() >= cc.n(),
+                    "invariant violated: level {} cell {:?} outweighs its parent",
+                    child.h(),
+                    cc.coords()
+                );
+            }
+        }
     }
 }
 

@@ -8,11 +8,8 @@ use proptest::prelude::*;
 /// coordinates in [0, 1).
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (1usize..=8).prop_flat_map(|d| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.0f64..1.0, d..=d),
-            1..200,
-        )
-        .prop_map(move |rows| Dataset::from_rows(&rows).unwrap())
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d..=d), 1..200)
+            .prop_map(move |rows| Dataset::from_rows(&rows).unwrap())
     })
 }
 
@@ -23,6 +20,8 @@ proptest! {
     #[test]
     fn levels_conserve_mass(ds in dataset_strategy(), h in 3usize..=7) {
         let tree = CountingTree::build(&ds, h).unwrap();
+        #[cfg(feature = "strict-invariants")]
+        tree.check_invariants();
         for level in tree.levels() {
             prop_assert_eq!(level.total_points(), ds.len() as u64);
         }
@@ -62,6 +61,8 @@ proptest! {
     #[test]
     fn parent_child_mass(ds in dataset_strategy()) {
         let tree = CountingTree::build(&ds, 5).unwrap();
+        #[cfg(feature = "strict-invariants")]
+        tree.check_invariants();
         let d = tree.dims();
         for h in 1..tree.deepest_level() {
             let level = tree.level(h);

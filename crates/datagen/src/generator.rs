@@ -103,7 +103,9 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
     // clustered point budget, remainder to the last cluster.
     let mut sizes = vec![0usize; spec.n_clusters];
     if spec.n_clusters > 0 {
-        let weights: Vec<f64> = (0..spec.n_clusters).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let weights: Vec<f64> = (0..spec.n_clusters)
+            .map(|_| rng.gen_range(0.5..1.5))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut assigned = 0usize;
         for k in 0..spec.n_clusters {
@@ -146,7 +148,7 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
         let members: Vec<usize> = (next_index..next_index + size).collect();
         next_index += size;
         for _ in 0..size {
-            for slot in point.iter_mut() {
+            for slot in &mut point {
                 *slot = rng.gen_range(0.0..1.0); // irrelevant axes: uniform
             }
             for (a, (&m, &s)) in axes.iter().zip(means.iter().zip(&stds)) {
@@ -161,7 +163,7 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
     // spec's noise budget, plus the whole dataset when there are no
     // clusters).
     for _ in 0..(spec.n_points - next_index) {
-        for slot in point.iter_mut() {
+        for slot in &mut point {
             *slot = rng.gen_range(0.0..1.0);
         }
         ds.push(&point).expect("noise point in range");
@@ -272,10 +274,20 @@ mod tests {
     #[test]
     fn sizes_are_random_but_exhaustive() {
         let s = generate(&spec());
-        let total: usize = s.ground_truth.clusters().iter().map(|c| c.len()).sum();
+        let total: usize = s
+            .ground_truth
+            .clusters()
+            .iter()
+            .map(SubspaceCluster::len)
+            .sum();
         assert_eq!(total, 1700);
         // Random sizes: not all equal.
-        let sizes: Vec<usize> = s.ground_truth.clusters().iter().map(|c| c.len()).collect();
+        let sizes: Vec<usize> = s
+            .ground_truth
+            .clusters()
+            .iter()
+            .map(SubspaceCluster::len)
+            .collect();
         assert!(sizes.iter().any(|&x| x != sizes[0]));
     }
 }

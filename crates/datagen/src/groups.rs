@@ -23,7 +23,15 @@ const SEED: u64 = 0x5EED_2010;
 /// The first dataset group: 7 datasets named `6d` … `18d`.
 pub fn first_group() -> Vec<SyntheticSpec> {
     let dims = [6usize, 8, 10, 12, 14, 16, 18];
-    let points = [12_000usize, 30_000, 48_000, 66_000, 90_000, 105_000, 120_000];
+    let points = [
+        12_000usize,
+        30_000,
+        48_000,
+        66_000,
+        90_000,
+        105_000,
+        120_000,
+    ];
     let clusters = [2usize, 5, 7, 10, 17, 17, 17];
     dims.iter()
         .zip(points.iter().zip(&clusters))

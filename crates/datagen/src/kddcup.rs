@@ -113,8 +113,7 @@ pub fn kdd_cup_2008_surrogate(view: View, scale: f64) -> KddSurrogate {
     if clusters[malignant_cluster].len() > budget {
         clusters[malignant_cluster].points.truncate(budget);
     }
-    let ground_truth =
-        SubspaceClustering::new(synthetic.dataset.len(), KDD_DIMS, clusters);
+    let ground_truth = SubspaceClustering::new(synthetic.dataset.len(), KDD_DIMS, clusters);
 
     let mut malignant = vec![false; synthetic.dataset.len()];
     for &i in &ground_truth.clusters()[malignant_cluster].points {
@@ -167,7 +166,12 @@ mod tests {
         let k = kdd_cup_2008_surrogate(View::LeftMLO, 0.1);
         let gt = &k.synthetic.ground_truth;
         assert_eq!(gt.len(), 7);
-        let largest = gt.clusters().iter().map(|c| c.len()).max().unwrap();
+        let largest = gt
+            .clusters()
+            .iter()
+            .map(mrcc_common::SubspaceCluster::len)
+            .max()
+            .unwrap();
         let malignant = gt.clusters()[k.malignant_cluster].len();
         assert!(largest > 20 * malignant, "{largest} vs {malignant}");
     }

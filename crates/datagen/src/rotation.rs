@@ -76,8 +76,9 @@ pub fn rotate_dataset_by(
     rng: &mut StdRng,
 ) -> Vec<PlaneRotation> {
     let d = ds.dims();
-    let rotations: Vec<PlaneRotation> =
-        (0..k).map(|_| PlaneRotation::random(d, max_angle, rng)).collect();
+    let rotations: Vec<PlaneRotation> = (0..k)
+        .map(|_| PlaneRotation::random(d, max_angle, rng))
+        .collect();
     let mut rotated = Dataset::new(d).expect("same dims");
     let mut buf = vec![0.0f64; d];
     for p in ds.iter() {

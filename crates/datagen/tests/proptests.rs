@@ -8,7 +8,8 @@ use rand::SeedableRng;
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
     (2usize..=12, 0usize..=4, 0.0f64..0.4, 0u64..1000, 0usize..=4).prop_map(
         |(dims, clusters, noise, seed, rotations)| {
-            let mut s = SyntheticSpec::new("prop", dims, 500 + clusters * 200, clusters, noise, seed);
+            let mut s =
+                SyntheticSpec::new("prop", dims, 500 + clusters * 200, clusters, noise, seed);
             s.rotations = rotations;
             s
         },

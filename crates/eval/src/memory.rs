@@ -58,9 +58,12 @@ fn on_dealloc(size: usize) {
 }
 
 // SAFETY: defers all allocation to `System`; the counters are plain atomics
-// and never allocate.
+// and never allocate, so no allocator method can recurse into itself.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: the method contract is `System::alloc`'s own; this wrapper
+    // only adds counter updates around the delegated call.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: the caller's `layout` obligations pass through unchanged.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             on_alloc(layout.size());
@@ -68,12 +71,17 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: contract identical to `System::dealloc`, delegated verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` were produced by a matching alloc on this
+        // same allocator, which forwarded to `System`.
         unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
+    // SAFETY: contract identical to `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: the caller's `layout` obligations pass through unchanged.
         let p = unsafe { System.alloc_zeroed(layout) };
         if !p.is_null() {
             on_alloc(layout.size());
@@ -81,7 +89,10 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: contract identical to `System::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: `ptr` came from this allocator with `layout`, and the
+        // caller guarantees `new_size` is nonzero — `System`'s own contract.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             on_dealloc(layout.size());

@@ -21,10 +21,10 @@
 //! captures).
 
 use mrcc_common::{SubspaceClustering, NOISE};
-use serde::Serialize;
+use serde_json::{ToJson, Value};
 
 /// One found↔real pairing with its scores.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterMatch {
     /// Index on the side being iterated (found for precision, real for
     /// recall).
@@ -39,7 +39,7 @@ pub struct ClusterMatch {
 }
 
 /// Full quality report of one clustering against ground truth.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QualityReport {
     /// Averaged precision over found clusters.
     pub avg_precision: f64,
@@ -51,6 +51,34 @@ pub struct QualityReport {
     pub precision_matches: Vec<ClusterMatch>,
     /// Per-real-cluster matches (recall side).
     pub recall_matches: Vec<ClusterMatch>,
+}
+
+// Hand-written because the offline serde_json stand-in has no derive macros
+// (see vendor/serde_json).
+impl ToJson for ClusterMatch {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("index".to_string(), self.index.to_json()),
+            ("dominant".to_string(), self.dominant.to_json()),
+            ("shared".to_string(), self.shared.to_json()),
+            ("score".to_string(), self.score.to_json()),
+        ])
+    }
+}
+
+impl ToJson for QualityReport {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("avg_precision".to_string(), self.avg_precision.to_json()),
+            ("avg_recall".to_string(), self.avg_recall.to_json()),
+            ("quality".to_string(), self.quality.to_json()),
+            (
+                "precision_matches".to_string(),
+                self.precision_matches.to_json(),
+            ),
+            ("recall_matches".to_string(), self.recall_matches.to_json()),
+        ])
+    }
 }
 
 /// Point-overlap contingency table between two clusterings, built in

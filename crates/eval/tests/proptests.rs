@@ -6,11 +6,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random clustering over `n` points in `d` dims with up to `k`
 /// clusters built from a random label vector.
-fn clustering_strategy(
-    n: usize,
-    d: usize,
-    k: usize,
-) -> impl Strategy<Value = SubspaceClustering> {
+fn clustering_strategy(n: usize, d: usize, k: usize) -> impl Strategy<Value = SubspaceClustering> {
     (
         proptest::collection::vec(-1i32..k as i32, n..=n),
         proptest::collection::vec(proptest::collection::vec(any::<bool>(), d..=d), k..=k),

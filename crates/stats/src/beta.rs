@@ -5,6 +5,8 @@
 //! tails: `P(X ≥ k) = I_p(k, n − k + 1)` for `X ~ Binomial(n, p)`.
 
 use crate::gamma::ln_gamma;
+use mrcc_common::float::exactly;
+use mrcc_common::num::len_to_f64;
 
 const MAX_ITER: usize = 300;
 const EPS: f64 = 3.0e-14;
@@ -23,7 +25,7 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
     d = 1.0 / d;
     let mut h = d;
     for m in 1..=MAX_ITER {
-        let m = m as f64;
+        let m = len_to_f64(m);
         let m2 = 2.0 * m;
         // Even step.
         let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
@@ -65,17 +67,21 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
 /// # Panics
 /// Panics on out-of-domain arguments.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta requires a,b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0,1], got {x}");
-    if x == 0.0 {
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta requires a,b > 0 (a={a}, b={b})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "inc_beta requires x in [0,1], got {x}"
+    );
+    if exactly(x, 0.0) {
         return 0.0;
     }
-    if x == 1.0 {
+    if exactly(x, 1.0) {
         return 1.0;
     }
-    let ln_bt = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln();
+    let ln_bt = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let bt = ln_bt.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         bt * betacf(a, b, x) / a
@@ -141,9 +147,7 @@ mod tests {
         use crate::gamma::ln_choose;
         let (n, p, k) = (99u64, 0.2f64, 20u64);
         let direct: f64 = (k..=n)
-            .map(|i| {
-                (ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp()
-            })
+            .map(|i| (ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp())
             .sum();
         let via_beta = inc_beta(k as f64, (n - k + 1) as f64, p);
         assert!((direct - via_beta).abs() < 1e-10, "{direct} vs {via_beta}");

@@ -11,6 +11,8 @@
 
 use crate::beta::inc_beta;
 use crate::gamma::ln_choose;
+use mrcc_common::float::exactly;
+use mrcc_common::num::count_to_f64;
 
 /// A binomial distribution `Binomial(n, p)`.
 ///
@@ -53,7 +55,7 @@ impl Binomial {
 
     /// Mean `n·p`.
     pub fn mean(&self) -> f64 {
-        self.n as f64 * self.p
+        count_to_f64(self.n) * self.p
     }
 
     /// Probability mass `P(X = k)` (log-space evaluation, no overflow).
@@ -61,15 +63,15 @@ impl Binomial {
         if k > self.n {
             return 0.0;
         }
-        if self.p == 0.0 {
+        if exactly(self.p, 0.0) {
             return if k == 0 { 1.0 } else { 0.0 };
         }
-        if self.p == 1.0 {
+        if exactly(self.p, 1.0) {
             return if k == self.n { 1.0 } else { 0.0 };
         }
         let ln = ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln();
+            + count_to_f64(k) * self.p.ln()
+            + count_to_f64(self.n - k) * (1.0 - self.p).ln();
         ln.exp()
     }
 
@@ -82,13 +84,13 @@ impl Binomial {
         if k > self.n {
             return 0.0;
         }
-        if self.p == 0.0 {
+        if exactly(self.p, 0.0) {
             return 0.0;
         }
-        if self.p == 1.0 {
+        if exactly(self.p, 1.0) {
             return 1.0;
         }
-        inc_beta(k as f64, (self.n - k + 1) as f64, self.p)
+        inc_beta(count_to_f64(k), count_to_f64(self.n - k + 1), self.p)
     }
 
     /// Cumulative distribution `P(X ≤ k)`.
@@ -125,6 +127,55 @@ impl Binomial {
             }
         }
         hi
+    }
+
+    /// Re-verifies the tail-probability invariants the critical-value binary
+    /// search relies on: `sf(0) = 1`, `sf(n + 1) = 0`, `sf` nonincreasing in
+    /// `k`, every tail probability inside `[0, 1]`, and `cdf(k) + sf(k + 1)`
+    /// summing to one. `O(n)` evaluations of the incomplete beta function —
+    /// keep `n` modest in property tests.
+    ///
+    /// Compiled only with the `strict-invariants` feature.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    #[cfg(feature = "strict-invariants")]
+    pub fn check_tail_invariants(&self) {
+        const TOL: f64 = 1e-9;
+        let mut prev = self.sf(0);
+        assert!(
+            exactly(prev, 1.0),
+            "invariant violated: sf(0) = {prev}, expected 1"
+        );
+        for k in 1..=self.n + 1 {
+            let s = self.sf(k);
+            assert!(
+                (-TOL..=1.0 + TOL).contains(&s),
+                "invariant violated: sf({k}) = {s} outside [0, 1]"
+            );
+            assert!(
+                s <= prev + TOL,
+                "invariant violated: sf not nonincreasing at k = {k} ({prev} -> {s})"
+            );
+            prev = s;
+        }
+        assert!(
+            exactly(self.sf(self.n + 1), 0.0),
+            "invariant violated: sf(n + 1) must be 0"
+        );
+        for k in 0..=self.n {
+            let total = self.cdf(k) + self.sf(k + 1);
+            assert!(
+                (total - 1.0).abs() < TOL,
+                "invariant violated: cdf({k}) + sf({}) = {total}, expected 1",
+                k + 1
+            );
+            let mass = self.pmf(k);
+            assert!(
+                (-TOL..=1.0 + TOL).contains(&mass),
+                "invariant violated: pmf({k}) = {mass} outside [0, 1]"
+            );
+        }
     }
 }
 
@@ -199,10 +250,7 @@ mod tests {
                 let t = b.critical_value(alpha);
                 assert!(b.sf(t) <= alpha, "n={n} α={alpha}: sf({t})={}", b.sf(t));
                 if t > 0 {
-                    assert!(
-                        b.sf(t - 1) > alpha,
-                        "n={n} α={alpha}: t not minimal ({t})"
-                    );
+                    assert!(b.sf(t - 1) > alpha, "n={n} α={alpha}: t not minimal ({t})");
                 }
             }
         }
@@ -221,7 +269,7 @@ mod tests {
         // With n = 3 and α = 1e-10 no count is significant: sf(3) = (1/6)^3.
         let t = binomial_critical_value(3, 1.0 / 6.0, 1e-10);
         assert_eq!(t, 4); // n + 1 → unreachable
-        // With a generous alpha the critical value drops.
+                          // With a generous alpha the critical value drops.
         let t = binomial_critical_value(3, 1.0 / 6.0, 0.5);
         assert!(t <= 2);
     }

@@ -1,11 +1,13 @@
 //! Small descriptive-statistics helpers shared by the baselines and tests.
 
+use mrcc_common::num::len_to_f64;
+
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.iter().sum::<f64>() / values.len() as f64
+    values.iter().sum::<f64>() / len_to_f64(values.len())
 }
 
 /// Population variance; 0 for fewer than two values.
@@ -14,7 +16,7 @@ pub fn variance(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    values.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+    values.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / len_to_f64(values.len())
 }
 
 /// Population standard deviation.

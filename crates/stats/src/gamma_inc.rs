@@ -5,6 +5,8 @@
 //! the P3C baseline's interval-support test — reduce to these.
 
 use crate::gamma::ln_gamma;
+use mrcc_common::float::exactly;
+use mrcc_common::num::len_to_f64;
 
 const MAX_ITER: usize = 500;
 const EPS: f64 = 3.0e-14;
@@ -12,7 +14,7 @@ const FPMIN: f64 = 1.0e-300;
 
 /// Series representation of `P(a, x)`, best for `x < a + 1`.
 fn gamma_p_series(a: f64, x: f64) -> f64 {
-    if x == 0.0 {
+    if exactly(x, 0.0) {
         return 0.0;
     }
     let mut ap = a;
@@ -36,7 +38,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
     let mut d = 1.0 / b;
     let mut h = d;
     for i in 1..=MAX_ITER {
-        let an = -(i as f64) * (i as f64 - a);
+        let an = -len_to_f64(i) * (len_to_f64(i) - a);
         b += 2.0;
         d = an * d + b;
         if d.abs() < FPMIN {
@@ -95,8 +97,8 @@ mod tests {
     #[test]
     fn exponential_special_case() {
         // P(1, x) = 1 − e^{−x}.
-        for &x in &[0.1, 1.0, 2.5, 10.0] {
-            let want = 1.0 - (-x as f64).exp();
+        for &x in &[0.1f64, 1.0, 2.5, 10.0] {
+            let want = 1.0 - (-x).exp();
             assert!((gamma_p(1.0, x) - want).abs() < 1e-12, "x={x}");
         }
     }

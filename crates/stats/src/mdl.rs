@@ -26,6 +26,8 @@ pub struct MdlCut {
     pub cost: f64,
 }
 
+use mrcc_common::num::len_to_f64;
+
 /// Bits to encode a magnitude: `log2(1 + |x|)`.
 #[inline]
 fn bits(x: f64) -> f64 {
@@ -37,7 +39,7 @@ fn partition_cost(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let mean = values.iter().sum::<f64>() / len_to_f64(values.len());
     let dev: f64 = values.iter().map(|&v| bits(v - mean)).sum();
     bits(mean) + dev
 }

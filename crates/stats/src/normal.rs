@@ -6,10 +6,11 @@
 //! relevance thresholds.
 
 use crate::gamma_inc::gamma_p;
+use mrcc_common::float::exactly;
 
 /// Error function `erf(x) = P(1/2, x²)·sign(x)`.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if exactly(x, 0.0) {
         return 0.0;
     }
     let v = gamma_p(0.5, x * x);

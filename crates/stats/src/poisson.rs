@@ -6,6 +6,7 @@
 
 use crate::gamma::ln_factorial;
 use crate::gamma_inc::{gamma_p, gamma_q};
+use mrcc_common::num::count_to_f64;
 
 /// A Poisson distribution with mean `λ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,12 +31,12 @@ impl Poisson {
 
     /// Probability mass `P(X = k)`.
     pub fn pmf(&self, k: u64) -> f64 {
-        (k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)).exp()
+        (count_to_f64(k) * self.lambda.ln() - self.lambda - ln_factorial(k)).exp()
     }
 
     /// Cumulative distribution `P(X ≤ k) = Q(k + 1, λ)`.
     pub fn cdf(&self, k: u64) -> f64 {
-        gamma_q((k + 1) as f64, self.lambda)
+        gamma_q(count_to_f64(k + 1), self.lambda)
     }
 
     /// Survival function `P(X ≥ k) = P(k, λ)` (regularized lower incomplete
@@ -44,7 +45,7 @@ impl Poisson {
         if k == 0 {
             return 1.0;
         }
-        gamma_p(k as f64, self.lambda)
+        gamma_p(count_to_f64(k), self.lambda)
     }
 }
 

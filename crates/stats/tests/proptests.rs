@@ -16,6 +16,8 @@ proptest! {
     #[test]
     fn binomial_sf_monotone(n in 0u64..500, p in 0.0f64..=1.0) {
         let b = Binomial::new(n, p);
+        #[cfg(feature = "strict-invariants")]
+        b.check_tail_invariants();
         let mut prev = 1.0f64;
         for k in 0..=n + 1 {
             let s = b.sf(k);

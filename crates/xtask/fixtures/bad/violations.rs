@@ -1,0 +1,22 @@
+//! Fixture: one violation per lint. The driver must report all four slugs
+//! for this file.
+
+pub fn takes_the_panic_shortcut(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn expects_without_reason(values: &[u32]) -> u32 {
+    *values.first().expect("should not happen")
+}
+
+pub fn raw_float_comparison(x: f64) -> bool {
+    x == 0.3
+}
+
+pub fn silent_lossy_cast(x: f64) -> usize {
+    x as usize
+}
+
+pub fn undocumented_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,50 @@
+//! Fixture: code that follows every repo convention. The lint driver must
+//! report nothing for this file.
+
+/// Propagates instead of unwrapping.
+pub fn first_or_err(values: &[u32]) -> Result<u32, String> {
+    values
+        .first()
+        .copied()
+        .ok_or_else(|| "empty input".to_string())
+}
+
+/// A documented infallible access.
+pub fn head(values: &[u32]) -> u32 {
+    *values
+        .first()
+        .expect("callers validate non-emptiness: len > 0 invariant")
+}
+
+/// Epsilon comparison instead of raw `==`.
+pub fn near_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}
+
+/// Lossless widening via `From`.
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+/// A justified lossy cast carries an allow annotation.
+pub fn grid_index(x: f64) -> usize {
+    // xtask-allow: as-cast — x is clamped to [0, grid) by the caller
+    x as usize
+}
+
+/// A documented unsafe block.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one initialized byte.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap and compare floats exactly.
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(Some(3).unwrap(), 3);
+        assert!(0.5_f64 == 0.5);
+        let _ = 7u32 as u64;
+    }
+}

@@ -1,0 +1,423 @@
+//! The repo-specific source lints.
+//!
+//! Four lints, each keyed by a slug that also names its
+//! `// xtask-allow: <slug>` suppression annotation:
+//!
+//! | slug             | rule                                                       |
+//! |------------------|------------------------------------------------------------|
+//! | `no-unwrap`      | no `.unwrap()`; `.expect("…")` only with an *invariant*    |
+//! |                  | message, in non-test library code of the four core crates  |
+//! | `float-eq`       | no raw `==`/`!=` against float operands outside the        |
+//! |                  | approved epsilon-helper files                              |
+//! | `as-cast`        | no bare `as` numeric casts in `counting-tree`/`stats`      |
+//! |                  | library code — use `try_from`/the `mrcc_common::num`       |
+//! |                  | helpers                                                    |
+//! | `safety-comment` | every `unsafe` keyword needs a `// SAFETY:` comment on or  |
+//! |                  | just above it                                              |
+//!
+//! All lints run on the masked views built by [`crate::source`], so string
+//! and comment contents can never trigger them.
+
+use crate::source::SourceFile;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File path as reported.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint slug (also the allow-annotation key).
+    pub slug: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.slug, self.message
+        )
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Records `finding` unless suppressed by an `xtask-allow` annotation.
+fn push_unless_allowed(
+    file: &SourceFile,
+    line_idx: usize,
+    slug: &'static str,
+    message: String,
+    out: &mut Vec<Finding>,
+) {
+    if !file.allows(line_idx, slug) {
+        out.push(Finding {
+            path: file.path.clone(),
+            line: line_idx + 1,
+            slug,
+            message,
+        });
+    }
+}
+
+/// `no-unwrap`: forbids `.unwrap()` and undocumented `.expect(...)` in
+/// non-test library code.
+///
+/// `.expect` is the escape hatch for conditions the surrounding code has
+/// made impossible — the message must say so by containing the word
+/// `invariant` (e.g. `.expect("resolutions validated: H >= 3 invariant")`).
+pub fn no_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        for (col, _) in code.match_indices(".unwrap") {
+            let rest = &code[col + ".unwrap".len()..];
+            // `.unwrap_or(...)` etc. continue with an identifier char.
+            if rest.chars().next().is_some_and(is_ident_char) {
+                continue;
+            }
+            push_unless_allowed(
+                file,
+                idx,
+                "no-unwrap",
+                "`.unwrap()` in library code; propagate a Result or use \
+                 `.expect(\"... invariant ...\")` stating why this cannot fail"
+                    .to_string(),
+                out,
+            );
+        }
+        for (col, _) in code.match_indices(".expect") {
+            let rest = &code[col + ".expect".len()..];
+            if rest.chars().next().is_some_and(is_ident_char) {
+                continue;
+            }
+            // The masked view blanks string contents, so read the expect
+            // message from the raw line (multi-line messages: scan ahead).
+            let window_end = (idx + 3).min(file.lines.len());
+            let raw_window = file.lines[idx..window_end].join(" ");
+            if !raw_window.contains("invariant") {
+                push_unless_allowed(
+                    file,
+                    idx,
+                    "no-unwrap",
+                    "`.expect()` message must state the invariant that makes \
+                     this infallible (include the word \"invariant\")"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `true` when `operand` textually contains a float literal or a float
+/// constant path (`f64::NAN`, `EPSILON`, …).
+fn looks_float(operand: &str) -> bool {
+    if operand.contains("f64::") || operand.contains("f32::") {
+        return true;
+    }
+    let chars: Vec<char> = operand.chars().collect();
+    for i in 0..chars.len() {
+        if !chars[i].is_ascii_digit() {
+            continue;
+        }
+        // A digit preceded by an identifier char or `.` is part of a larger
+        // token (`x2`, `v.0` tuple access) — not a literal start.
+        if i > 0 && (is_ident_char(chars[i - 1]) || chars[i - 1] == '.') {
+            continue;
+        }
+        // Walk the number.
+        let mut j = i;
+        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            j += 1;
+        }
+        // `1.5`, `1.` — but not `1..3` (range) or `1.method()`.
+        if j < chars.len() && chars[j] == '.' {
+            let after = chars.get(j + 1);
+            if after != Some(&'.') && !after.is_some_and(char::is_ascii_alphabetic) {
+                return true;
+            }
+        }
+        // `1e9`, `2.5e-3` handled above; `1f64` / `1f32` suffix form.
+        let rest: String = chars[j..].iter().collect();
+        if rest.starts_with("f64") || rest.starts_with("f32") {
+            return true;
+        }
+        if chars.get(j) == Some(&'e')
+            && chars
+                .get(j + 1)
+                .is_some_and(|c| c.is_ascii_digit() || *c == '-' || *c == '+')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts the textual operands on both sides of the operator at `pos`.
+fn operands_around(code: &str, pos: usize, op_len: usize) -> (String, String) {
+    let stop = |c: char| {
+        matches!(
+            c,
+            '(' | ')' | ',' | ';' | '{' | '}' | '[' | ']' | '&' | '|' | '<' | '>' | '='
+        )
+    };
+    let left: String = code[..pos]
+        .chars()
+        .rev()
+        .take_while(|&c| !stop(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let right: String = code[pos + op_len..]
+        .chars()
+        .take_while(|&c| !stop(c))
+        .collect();
+    (left, right)
+}
+
+/// `float-eq`: forbids raw `==` / `!=` where either operand is textually a
+/// float (literal or `f64::`/`f32::` constant).
+///
+/// Type-driven cases (`x == y` with both sides `f64` variables) are out of
+/// reach for a source-level lint and are left to review; the lint's job is
+/// the common case of comparing against a float constant. Comparisons in
+/// test code and in the approved epsilon-helper files are exempt.
+pub fn float_eq(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let bytes: Vec<char> = code.chars().collect();
+        let mut search = 0usize;
+        while let Some(rel) = code[search..].find(['=', '!']) {
+            let pos = search + rel;
+            search = pos + 1;
+            let two: String = bytes.iter().skip(pos).take(2).collect();
+            if two != "==" && two != "!=" {
+                continue;
+            }
+            // Exclude `<=`, `>=`, `=>`, `===`-like runs and `!=` tails.
+            if pos > 0 && matches!(bytes[pos - 1], '=' | '!' | '<' | '>') {
+                continue;
+            }
+            if bytes.get(pos + 2) == Some(&'=') {
+                continue;
+            }
+            search = pos + 2;
+            let (left, right) = operands_around(code, pos, 2);
+            if looks_float(&left) || looks_float(&right) {
+                push_unless_allowed(
+                    file,
+                    idx,
+                    "float-eq",
+                    format!(
+                        "raw float {two} comparison (`{}{two}{}`); compare \
+                         with an epsilon helper or justify with an allow",
+                        left.trim(),
+                        right.trim()
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// `as-cast`: forbids bare `as <numeric type>` casts in library code of the
+/// counting-tree and stats crates (the exact-arithmetic hot paths).
+///
+/// Use `From`/`TryFrom` or the documented helpers in `mrcc_common::num`;
+/// genuinely intentional lossy casts carry an `// xtask-allow: as-cast`
+/// annotation next to the justification.
+pub fn as_cast(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        for (col, _) in code.match_indices(" as ") {
+            // Confirm `as` is a standalone word (not part of an ident —
+            // guaranteed by the spaces) and the target is a numeric type.
+            let target = code[col + 4..]
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect::<String>();
+            if NUMERIC_TYPES.contains(&target.as_str()) {
+                push_unless_allowed(
+                    file,
+                    idx,
+                    "as-cast",
+                    format!(
+                        "bare `as {target}` cast in a counting/stats hot path; \
+                         use From/TryFrom or an `mrcc_common::num` helper"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `safety-comment`: every `unsafe` keyword (block, fn, impl or trait) must
+/// carry a `// SAFETY:` comment on its own line or within the three lines
+/// above it.
+pub fn safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, code) in file.code.iter().enumerate() {
+        let mut from = 0usize;
+        while let Some(rel) = code[from..].find("unsafe") {
+            let col = from + rel;
+            from = col + "unsafe".len();
+            let before_ok =
+                col == 0 || !is_ident_char(code[..col].chars().next_back().unwrap_or(' '));
+            let after_ok = !code[col + "unsafe".len()..]
+                .chars()
+                .next()
+                .is_some_and(is_ident_char);
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            let lo = idx.saturating_sub(3);
+            let documented = file.comments[lo..=idx]
+                .iter()
+                .any(|c| c.contains("SAFETY:"));
+            if !documented {
+                push_unless_allowed(
+                    file,
+                    idx,
+                    "safety-comment",
+                    "`unsafe` without a `// SAFETY:` comment on or above it".to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lint: fn(&SourceFile, &mut Vec<Finding>), src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("fixture.rs", src);
+        let mut out = Vec::new();
+        lint(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn no_unwrap_fires_on_unwrap() {
+        let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let findings = run(no_unwrap, bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slug, "no-unwrap");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn no_unwrap_spares_unwrap_or_variants_and_tests() {
+        let good = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                    fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }\n\
+                    fn h(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n\
+                    #[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(run(no_unwrap, good).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_polices_expect_messages() {
+        let bad = "fn f(x: Option<u32>) -> u32 { x.expect(\"value\") }\n";
+        assert_eq!(run(no_unwrap, bad).len(), 1);
+        let good =
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"validated above: len > 0 invariant\") }\n";
+        assert!(run(no_unwrap, good).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_respects_allow() {
+        let allowed = "// xtask-allow: no-unwrap\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(run(no_unwrap, allowed).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_ignores_strings_and_comments() {
+        let good =
+            "// this mentions .unwrap() in prose\nfn f() -> &'static str { \".unwrap()\" }\n";
+        assert!(run(no_unwrap, good).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_float_literal_comparison() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        let findings = run(float_eq, bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slug, "float-eq");
+        let bad2 = "fn f(x: f64) -> bool { x != 1e-9 }\n";
+        assert_eq!(run(float_eq, bad2).len(), 1);
+        let bad3 = "fn f(x: f64) -> bool { f64::NAN == x }\n";
+        assert_eq!(run(float_eq, bad3).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_spares_integers_ranges_and_ordering() {
+        let good = "fn f(x: usize) -> bool { x == 0 }\n\
+                    fn g(x: f64) -> bool { x <= 1.0 && x >= 0.0 }\n\
+                    fn r() -> std::ops::Range<usize> { 1..3 }\n\
+                    fn m(v: &[f64]) -> bool { v.len() != 2 }\n";
+        assert!(run(float_eq, good).is_empty());
+    }
+
+    #[test]
+    fn float_eq_respects_allow_and_tests() {
+        let allowed = "fn f(x: f64) -> bool { x == 0.5 } // xtask-allow: float-eq\n\
+             #[cfg(test)]\nmod tests {\n    fn t(x: f64) -> bool { x == 0.5 }\n}\n";
+        assert!(run(float_eq, allowed).is_empty());
+    }
+
+    #[test]
+    fn as_cast_fires_on_numeric_casts_only() {
+        let bad = "fn f(x: usize) -> u64 { x as u64 }\n";
+        let findings = run(as_cast, bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slug, "as-cast");
+        let good = "fn f(x: &dyn std::any::Any) { let _ = x as &dyn std::any::Any; }\n\
+                    fn g(b: Box<dyn std::error::Error>) { let _ = b as Box<dyn std::error::Error>; }\n";
+        assert!(run(as_cast, good).is_empty());
+    }
+
+    #[test]
+    fn as_cast_respects_allow_and_tests() {
+        let src = "// xtask-allow: as-cast — bounded by grid extent\n\
+                   fn f(x: f64) -> usize { x as usize }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t(x: usize) -> u64 { x as u64 }\n}\n";
+        assert!(run(as_cast, src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_for_unsafe() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let findings = run(safety_comment, bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slug, "safety-comment");
+        let good = "// SAFETY: caller guarantees p is valid and aligned.\n\
+                    fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(run(safety_comment, good).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_ignores_unsafe_in_prose() {
+        let good = "// this code is not unsafe at all\nfn f() {}\n";
+        assert!(run(safety_comment, good).is_empty());
+    }
+}

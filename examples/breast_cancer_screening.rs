@@ -61,18 +61,19 @@ fn main() {
 
     // Screening view: treat the most enriched cluster as the "suspicious"
     // bucket and report its recall of malignant ROIs.
-    if let Some((k, cluster)) = result
-        .clustering
-        .clusters()
-        .iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            let ra = a.points.iter().filter(|&&i| kdd.malignant[i]).count() as f64
-                / a.len().max(1) as f64;
-            let rb = b.points.iter().filter(|&&i| kdd.malignant[i]).count() as f64
-                / b.len().max(1) as f64;
-            ra.partial_cmp(&rb).expect("finite rates")
-        })
+    if let Some((k, cluster)) =
+        result
+            .clustering
+            .clusters()
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let ra = a.points.iter().filter(|&&i| kdd.malignant[i]).count() as f64
+                    / a.len().max(1) as f64;
+                let rb = b.points.iter().filter(|&&i| kdd.malignant[i]).count() as f64
+                    / b.len().max(1) as f64;
+                ra.partial_cmp(&rb).expect("finite rates")
+            })
     {
         let caught = cluster.points.iter().filter(|&&i| kdd.malignant[i]).count();
         println!(

@@ -13,7 +13,7 @@ use mrcc_repro::prelude::*;
 fn main() {
     // Figure 1's setup: cluster C1 in the {x, z} subspace, C2 in {x, y}.
     let mut rows: Vec<[f64; 3]> = Vec::new();
-    let mut state = 0xF16_1u64;
+    let mut state = 0xF161_u64;
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -42,8 +42,16 @@ fn main() {
     let result = MrCC::default().fit(&ds).expect("fit");
     println!("MrCC found {} correlation clusters:", result.n_clusters());
     for (k, c) in result.clusters.iter().enumerate() {
-        let axes: Vec<String> = c.axes.iter().map(|j| ["x", "y", "z"][j].to_string()).collect();
-        println!("  cluster {k}: {} points in subspace {{{}}}", c.size, axes.join(","));
+        let axes: Vec<String> = c
+            .axes
+            .iter()
+            .map(|j| ["x", "y", "z"][j].to_string())
+            .collect();
+        println!(
+            "  cluster {k}: {} points in subspace {{{}}}",
+            c.size,
+            axes.join(",")
+        );
     }
 
     let svg = pair_grid_svg(&ds, &result.clustering, 360, 3);

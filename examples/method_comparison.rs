@@ -19,20 +19,14 @@ mod mrcc_bench_shim {
     use mrcc_repro::prelude::*;
 
     /// Builds the six methods with the paper's tuning.
-    pub fn methods(
-        k: usize,
-        noise: f64,
-    ) -> Vec<(&'static str, Box<dyn SubspaceClusterer>)> {
+    pub fn methods(k: usize, noise: f64) -> Vec<(&'static str, Box<dyn SubspaceClusterer>)> {
         use mrcc_repro::baselines as b;
         struct M(MrCC);
         impl SubspaceClusterer for M {
             fn name(&self) -> &'static str {
                 "MrCC"
             }
-            fn fit(
-                &self,
-                ds: &Dataset,
-            ) -> mrcc_repro::common::Result<SubspaceClustering> {
+            fn fit(&self, ds: &Dataset) -> mrcc_repro::common::Result<SubspaceClustering> {
                 Ok(self.0.fit(ds)?.clustering)
             }
         }
@@ -41,10 +35,7 @@ mod mrcc_bench_shim {
             ("LAC", Box::new(b::Lac::new(b::LacConfig::new(k)))),
             ("EPCH", Box::new(b::Epch::new(b::EpchConfig::new(k)))),
             ("CFPC", Box::new(b::Doc::new(b::DocConfig::new(k)))),
-            (
-                "HARP",
-                Box::new(b::Harp::new(b::HarpConfig::new(k, noise))),
-            ),
+            ("HARP", Box::new(b::Harp::new(b::HarpConfig::new(k, noise)))),
             ("MrCC", Box::new(M(MrCC::default()))),
         ]
     }
@@ -62,7 +53,10 @@ fn main() {
         synth.dataset.dims(),
         synth.ground_truth.len()
     );
-    println!("{:<6} {:>8} {:>10} {:>10} {:>12} {:>8}", "method", "quality", "subspaceQ", "time", "peak mem", "clusters");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "method", "quality", "subspaceQ", "time", "peak mem", "clusters"
+    );
 
     for (name, method) in methods(synth.ground_truth.len(), spec.noise_fraction) {
         let ds = synth.dataset.clone();

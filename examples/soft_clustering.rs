@@ -29,11 +29,7 @@ fn main() {
             next() * 0.99,
         ]);
         // Cluster B: axis {2} only, uniform over axes 0 and 1.
-        rows.push([
-            next() * 0.99,
-            next() * 0.99,
-            0.70 + 0.03 * (next() - 0.5),
-        ]);
+        rows.push([next() * 0.99, next() * 0.99, 0.70 + 0.03 * (next() - 0.5)]);
     }
     for _ in 0..900 {
         rows.push([next() * 0.99, next() * 0.99, next() * 0.99]);
@@ -79,11 +75,7 @@ fn main() {
     // labeling made the same choice.
     let hard = result.clustering.labels();
     let soft_hard = soft.harden();
-    let agree = hard
-        .iter()
-        .zip(&soft_hard)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree = hard.iter().zip(&soft_hard).filter(|(a, b)| a == b).count();
     println!(
         "hardened soft labels agree with Algorithm 3 on {:.1}% of points",
         100.0 * agree as f64 / hard.len() as f64

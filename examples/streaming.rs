@@ -43,7 +43,12 @@ fn main() {
         // Score the snapshot against the ground truth restricted to the
         // ingested prefix.
         let truth_labels: Vec<i32> = synth.ground_truth.labels()[..seen].to_vec();
-        let masks: Vec<_> = synth.ground_truth.clusters().iter().map(|c| c.axes).collect();
+        let masks: Vec<_> = synth
+            .ground_truth
+            .clusters()
+            .iter()
+            .map(|c| c.axes)
+            .collect();
         let truth = SubspaceClustering::from_labels(&truth_labels, &masks, ds.dims());
         let q = quality(&clustering, &truth);
         println!(
