@@ -46,6 +46,7 @@ impl SubspaceCluster {
 
 /// A full clustering of a dataset of `n_points` points in `dims` axes.
 #[derive(Debug, Clone)]
+#[must_use = "a SubspaceClustering is the result of a fit; dropping it discards the labels"]
 pub struct SubspaceClustering {
     n_points: usize,
     dims: usize,
@@ -226,7 +227,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "two clusters")]
     fn overlapping_clusters_panic() {
-        SubspaceClustering::new(
+        let _ = SubspaceClustering::new(
             3,
             2,
             vec![
@@ -239,7 +240,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_point_panics() {
-        SubspaceClustering::new(2, 2, vec![SubspaceCluster::new(vec![5], mask(2, &[0]))]);
+        let _ = SubspaceClustering::new(2, 2, vec![SubspaceCluster::new(vec![5], mask(2, &[0]))]);
     }
 
     #[test]

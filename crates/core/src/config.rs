@@ -93,12 +93,36 @@ impl Default for MrCCConfig {
 
 impl MrCCConfig {
     /// Convenience constructor for the two paper parameters.
+    #[must_use]
     pub fn with_params(alpha: f64, resolutions: usize) -> Self {
         MrCCConfig {
             alpha,
             resolutions,
             ..Default::default()
         }
+    }
+
+    /// Returns the configuration with the convolution mask replaced
+    /// (builder style; chain off [`Default::default`] or `with_params`).
+    #[must_use]
+    pub fn with_mask(mut self, mask: MaskKind) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Returns the configuration with the axis-relevance selection rule
+    /// replaced.
+    #[must_use]
+    pub fn with_axis_selection(mut self, axis_selection: AxisSelection) -> Self {
+        self.axis_selection = axis_selection;
+        self
+    }
+
+    /// Returns the configuration with the effect-size floor replaced.
+    #[must_use]
+    pub fn with_relevance_floor(mut self, relevance_floor: f64) -> Self {
+        self.relevance_floor = relevance_floor;
+        self
     }
 
     /// Validates every field.
@@ -274,6 +298,21 @@ mod tests {
         c.axis_selection = AxisSelection::Share(50.0);
         assert!(c.validate().is_ok());
         c.axis_selection = AxisSelection::Mdl;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_replace_one_field_each() {
+        let c = MrCCConfig::default()
+            .with_mask(MaskKind::Full)
+            .with_axis_selection(AxisSelection::Mdl)
+            .with_relevance_floor(0.0);
+        assert_eq!(c.mask, MaskKind::Full);
+        assert_eq!(c.axis_selection, AxisSelection::Mdl);
+        assert_eq!(c.relevance_floor, 0.0);
+        // Untouched fields keep their defaults.
+        assert_eq!(c.alpha, 1e-10);
+        assert_eq!(c.resolutions, 4);
         assert!(c.validate().is_ok());
     }
 

@@ -29,6 +29,7 @@ impl FitStats {
 
 /// Everything a fit produces.
 #[derive(Debug, Clone)]
+#[must_use = "an MrCCResult is the whole output of a fit; dropping it discards the clustering"]
 pub struct MrCCResult {
     /// The dataset partition: disjoint clusters + implicit noise.
     pub clustering: SubspaceClustering,

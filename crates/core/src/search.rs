@@ -21,6 +21,15 @@ use crate::beta::{AxisStats, BetaCluster};
 use crate::config::{AxisSelection, MrCCConfig};
 use crate::convolution::convolve;
 
+/// Number of consecutive equal-size regions the parent neighborhood is split
+/// into along each axis (Section III-B): the parent's two halves plus the two
+/// halves of each face neighbor.
+pub const NEIGHBORHOOD_REGIONS: u64 = 6;
+
+/// The uniform null hypothesis gives each of the six regions an equal share
+/// of the neighborhood mass: `cP_j ~ Binomial(nP_j, 1/6)`.
+pub const NULL_REGION_SHARE: f64 = 1.0 / 6.0;
+
 /// Runs the full β-cluster search over a freshly built Counting-tree.
 pub fn find_beta_clusters(tree: &mut CountingTree, config: &MrCCConfig) -> Vec<BetaCluster> {
     let mut betas: Vec<BetaCluster> = Vec::new();
@@ -107,7 +116,7 @@ fn neighborhood_stats(tree: &CountingTree, h: usize, winner: CellId, alpha: f64)
             } else {
                 parent.half_count(j)
             };
-            let critical = binomial_critical_value(neighborhood, 1.0 / 6.0, alpha);
+            let critical = binomial_critical_value(neighborhood, NULL_REGION_SHARE, alpha);
             let relevance = if neighborhood > 0 {
                 100.0 * center as f64 / neighborhood as f64
             } else {

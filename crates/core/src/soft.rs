@@ -24,8 +24,11 @@ pub struct SoftClustering {
 
 impl SoftClustering {
     /// Memberships of point `i`, sorted by descending weight.
+    ///
+    /// # Panics
+    /// Panics when `i` is not a valid point index.
     pub fn memberships(&self, i: usize) -> &[(usize, f64)] {
-        &self.memberships[i]
+        &self.memberships[i] // xtask-allow: indexing — documented `# Panics` contract
     }
 
     /// Number of points.

@@ -67,7 +67,7 @@ impl Level {
     /// Panics on an out-of-range id.
     #[inline]
     pub fn cell(&self, id: CellId) -> &Cell {
-        &self.cells[u32_to_usize(id)]
+        &self.cells[u32_to_usize(id)] // xtask-allow: indexing — documented `# Panics` contract
     }
 
     /// Iterate over `(id, cell)` pairs in arena order.

@@ -34,10 +34,10 @@ impl CountingTree {
         // Convert bounds to integer grid coordinates; reject off-grid.
         let mut lo = Vec::with_capacity(self.dims());
         let mut hi = Vec::with_capacity(self.dims());
-        for j in 0..self.dims() {
-            assert!(lower[j] <= upper[j], "axis {j}: inverted bounds");
-            let l = lower[j] / side;
-            let u = upper[j] / side;
+        for (j, (&lb, &ub)) in lower.iter().zip(upper).enumerate() {
+            assert!(lb <= ub, "axis {j}: inverted bounds");
+            let l = lb / side;
+            let u = ub / side;
             if (l - l.round()).abs() > ALIGN_EPS || (u - u.round()).abs() > ALIGN_EPS {
                 return None;
             }
@@ -47,10 +47,11 @@ impl CountingTree {
 
         let mut total = 0u64;
         for (_, cell) in level.iter() {
-            let inside = (0..self.dims()).all(|j| {
-                let c = cell.coords()[j];
-                c >= lo[j] && c < hi[j]
-            });
+            let inside = cell
+                .coords()
+                .iter()
+                .zip(lo.iter().zip(&hi))
+                .all(|(&c, (&l, &u))| c >= l && c < u);
             if inside {
                 total += cell.n();
             }
@@ -73,11 +74,11 @@ impl CountingTree {
         let mut total = 0.0f64;
         'cell: for (_, cell) in level.iter() {
             let mut fraction = 1.0f64;
-            for j in 0..self.dims() {
-                assert!(lower[j] <= upper[j], "axis {j}: inverted bounds");
+            for (j, (&lb, &ub)) in lower.iter().zip(upper).enumerate() {
+                assert!(lb <= ub, "axis {j}: inverted bounds");
                 let c_lo = cell.lower_bound(j, side);
                 let c_hi = cell.upper_bound(j, side);
-                let overlap = (upper[j].min(c_hi) - lower[j].max(c_lo)).max(0.0);
+                let overlap = (ub.min(c_hi) - lb.max(c_lo)).max(0.0);
                 if overlap <= 0.0 {
                     continue 'cell;
                 }

@@ -125,7 +125,7 @@ impl CountingTree {
         // bit of the deepest level.
         let fine_scale = (2.0f64).powi(powi_exp(h_max + 1));
         let mut fine = vec![0u64; d];
-        for (j, &v) in point.iter().enumerate() {
+        for ((j, &v), slot) in point.iter().enumerate().zip(fine.iter_mut()) {
             if !(0.0..1.0).contains(&v) {
                 return Err(Error::InvalidParameter {
                     name: "point",
@@ -134,22 +134,21 @@ impl CountingTree {
                     ),
                 });
             }
-            fine[j] = trunc_to_u64(v * fine_scale);
+            *slot = trunc_to_u64(v * fine_scale);
         }
         let mut coords = vec![0u64; d];
         for (li, level) in self.levels.iter_mut().enumerate() {
             let h = li + 1;
             let shift = bounded_to_u32(h_max + 1 - h);
-            for j in 0..d {
-                coords[j] = fine[j] >> shift;
+            for (c, f) in coords.iter_mut().zip(&fine) {
+                *c = f >> shift;
             }
             let id = level.get_or_insert(&coords);
             // The point is in the lower half of this cell along e_j iff its
             // coordinate one level finer is even.
-            let fine_ref = &fine;
             level
                 .cell_mut(id)
-                .count_point((0..d).map(|j| (fine_ref[j] >> (shift - 1)) & 1 == 0));
+                .count_point(fine.iter().map(|f| (f >> (shift - 1)) & 1 == 0));
         }
         self.n_points += 1;
         Ok(())
@@ -185,13 +184,16 @@ impl CountingTree {
     /// Panics for out-of-range `h`.
     #[inline]
     pub fn level(&self, h: usize) -> &Level {
-        &self.levels[h - 1]
+        &self.levels[h - 1] // xtask-allow: indexing — documented `# Panics` contract
     }
 
     /// Mutable access to level `h` (the clustering pass flips `usedCell`).
+    ///
+    /// # Panics
+    /// Panics for out-of-range `h`.
     #[inline]
     pub fn level_mut(&mut self, h: usize) -> &mut Level {
-        &mut self.levels[h - 1]
+        &mut self.levels[h - 1] // xtask-allow: indexing — documented `# Panics` contract
     }
 
     /// Iterate over all materialized levels, shallow to deep.

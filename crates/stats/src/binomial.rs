@@ -28,6 +28,7 @@ use mrcc_common::num::count_to_f64;
 /// assert!(theta > 10);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a Binomial is a value describing a distribution; dropping it does nothing"]
 pub struct Binomial {
     n: u64,
     p: f64,

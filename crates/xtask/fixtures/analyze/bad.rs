@@ -1,0 +1,28 @@
+//! Analyze fixture: public panic paths the audit must flag — a direct
+//! `panic!`, a transitive `.unwrap()` through a private helper, an assertion
+//! and unannotated slice indexing.
+
+/// Direct panic.
+pub fn boom() {
+    panic!("fixture panic");
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Panics transitively via `helper`.
+pub fn outer() -> u32 {
+    helper(None)
+}
+
+/// Unchecked indexing without an `xtask-allow: indexing` note.
+pub fn index(v: &[u32]) -> u32 {
+    v[1]
+}
+
+/// Assertion macro in non-test code.
+pub fn checked(x: u32) -> u32 {
+    assert!(x > 0, "fixture assert");
+    x - 1
+}

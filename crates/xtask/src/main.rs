@@ -1,19 +1,28 @@
 //! `xtask` — the repository's static-analysis and verification driver.
 //!
 //! ```text
-//! cargo run -p xtask -- lint          # repo-specific source lints
-//! cargo run -p xtask -- lint <paths>  # same lints over explicit files/dirs
-//! cargo run -p xtask -- fmt-check     # cargo fmt --all --check
-//! cargo run -p xtask -- invariants    # per-crate tests with strict-invariants
+//! cargo run -p xtask -- lint             # repo-specific source lints
+//! cargo run -p xtask -- lint <paths>     # same lints over explicit files/dirs
+//! cargo run -p xtask -- analyze          # semantic analyses (see `analyze`)
+//! cargo run -p xtask -- analyze --bless  # accept API/panic baseline changes
+//! cargo run -p xtask -- fmt-check        # cargo fmt --all --check
+//! cargo run -p xtask -- invariants      # per-crate tests with strict-invariants
 //! ```
 //!
 //! `lint` walks the workspace's own source (`crates/*/src`, the facade
 //! `src/`, benches and bins — never `vendor/` or `target/`) and applies the
-//! lints in [`lints`] with per-lint path scopes. Exit status is nonzero when
-//! any finding survives its `xtask-allow` filter, so CI can gate on it.
+//! token-level lints in [`lints`] with per-lint path scopes. `analyze` parses
+//! the library crates into their item structure ([`ast`]) and runs the
+//! cross-file analyses in [`analyze`]: the panic-path audit, the
+//! paper-constant conformance table and the public-API drift gate. Both
+//! commands accept `--format text|json|github` (JSON records for tooling,
+//! GitHub Actions annotations for CI). Exit status is nonzero when any
+//! finding survives, so CI can gate on it.
 
 #![forbid(unsafe_code)]
 
+mod analyze;
+mod ast;
 mod lints;
 mod source;
 
@@ -21,6 +30,97 @@ use lints::Finding;
 use source::SourceFile;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+
+/// Output format for findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human-readable `path:line: [slug] message` lines (default).
+    Text,
+    /// JSON array of `{file, line, lint, message}` records.
+    Json,
+    /// GitHub Actions `::error …` workflow annotations.
+    Github,
+}
+
+/// Flags shared by `lint` and `analyze`.
+struct Flags {
+    format: Format,
+    bless: bool,
+    /// Non-flag arguments, in order.
+    positional: Vec<String>,
+}
+
+/// Splits `--format <f>` / `--format=<f>` / `--bless` from positional args.
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        format: Format::Text,
+        bless: false,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let format_value = if arg == "--format" {
+            Some(
+                iter.next()
+                    .ok_or_else(|| "--format requires a value".to_string())?
+                    .clone(),
+            )
+        } else {
+            arg.strip_prefix("--format=").map(str::to_string)
+        };
+        if let Some(value) = format_value {
+            flags.format = match value.as_str() {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                "github" => Format::Github,
+                other => {
+                    return Err(format!(
+                        "unknown format `{other}`; expected text|json|github"
+                    ))
+                }
+            };
+        } else if arg == "--bless" {
+            flags.bless = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            flags.positional.push(arg.clone());
+        }
+    }
+    Ok(flags)
+}
+
+/// Prints findings in the chosen format and maps them to an exit code. The
+/// summary goes to stderr in machine formats so stdout stays parseable.
+fn emit(label: &str, findings: &[Finding], format: Format) -> ExitCode {
+    match format {
+        Format::Text => {
+            for f in findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("xtask {label}: clean");
+            } else {
+                println!("xtask {label}: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => {
+            println!("{}", lints::to_json(findings));
+            eprintln!("xtask {label}: {} finding(s)", findings.len());
+        }
+        Format::Github => {
+            for f in findings {
+                println!("{}", lints::github_annotation(f));
+            }
+            eprintln!("xtask {label}: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
 /// Crates whose library code must be panic-free (`no-unwrap` scope).
 const PANIC_FREE_CRATES: [&str; 4] = ["common", "stats", "counting-tree", "core"];
@@ -36,16 +136,23 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((cmd, rest)) => (cmd.as_str(), rest),
         None => {
-            eprintln!("usage: cargo run -p xtask -- <lint [paths..] | fmt-check | invariants>");
+            eprintln!(
+                "usage: cargo run -p xtask -- \
+                 <lint [paths..] | analyze [--bless] | fmt-check | invariants> \
+                 [--format text|json|github]"
+            );
             return ExitCode::FAILURE;
         }
     };
     match cmd {
         "lint" => run_lint(rest),
+        "analyze" => run_analyze(rest),
         "fmt-check" => run_fmt_check(),
         "invariants" => run_invariants(),
         other => {
-            eprintln!("unknown subcommand `{other}`; expected lint | fmt-check | invariants");
+            eprintln!(
+                "unknown subcommand `{other}`; expected lint | analyze | fmt-check | invariants"
+            );
             ExitCode::FAILURE
         }
     }
@@ -154,24 +261,49 @@ fn lint_paths(repo: &Path, roots: &[PathBuf], scoped: bool) -> Vec<Finding> {
 }
 
 fn run_lint(extra: &[String]) -> ExitCode {
+    let flags = match parse_flags(extra) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.bless {
+        eprintln!("xtask lint: --bless only applies to `analyze`");
+        return ExitCode::FAILURE;
+    }
     let repo = repo_root();
-    let (roots, scoped) = if extra.is_empty() {
+    let (roots, scoped) = if flags.positional.is_empty() {
         (workspace_roots(&repo), true)
     } else {
         // Explicit paths (fixtures, ad-hoc checks): every lint applies.
-        (extra.iter().map(PathBuf::from).collect(), false)
+        (flags.positional.iter().map(PathBuf::from).collect(), false)
     };
     let findings = lint_paths(&repo, &roots, scoped);
-    for finding in &findings {
-        println!("{finding}");
+    emit("lint", &findings, flags.format)
+}
+
+fn run_analyze(extra: &[String]) -> ExitCode {
+    let flags = match parse_flags(extra) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("xtask analyze: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !flags.positional.is_empty() {
+        eprintln!(
+            "xtask analyze: unexpected argument `{}` (analyze always runs on the workspace)",
+            flags.positional[0]
+        );
+        return ExitCode::FAILURE;
     }
-    if findings.is_empty() {
-        println!("xtask lint: clean");
-        ExitCode::SUCCESS
-    } else {
-        println!("xtask lint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
+    let findings = analyze::run(&repo_root(), flags.bless);
+    if flags.bless && findings.is_empty() {
+        println!("xtask analyze: baselines blessed (panic-baseline.txt, api/*.txt)");
+        return ExitCode::SUCCESS;
     }
+    emit("analyze", &findings, flags.format)
 }
 
 fn run_fmt_check() -> ExitCode {
@@ -286,6 +418,63 @@ mod tests {
             findings.iter().all(|f| f.slug != "float-eq"),
             "{findings:#?}"
         );
+    }
+
+    #[test]
+    fn flag_parsing_covers_formats_and_bless() {
+        let args = |list: &[&str]| list.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        let f = parse_flags(&args(&["--format", "json", "a.rs", "--bless"])).unwrap();
+        assert_eq!(f.format, Format::Json);
+        assert!(f.bless);
+        assert_eq!(f.positional, vec!["a.rs".to_string()]);
+        let f = parse_flags(&args(&["--format=github"])).unwrap();
+        assert_eq!(f.format, Format::Github);
+        assert!(parse_flags(&args(&["--format", "yaml"])).is_err());
+        assert!(parse_flags(&args(&["--format"])).is_err());
+        assert!(parse_flags(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn analyze_good_fixture_is_clean() {
+        let text = std::fs::read_to_string(fixture("analyze/good.rs")).unwrap();
+        let crates = vec![analyze::CrateAst::from_sources(
+            "mrcc-common",
+            &[("crates/common/src/lib.rs", text.as_str())],
+        )];
+        let audit = analyze::panics::audit(&crates, "");
+        assert!(audit.findings.is_empty(), "{:#?}", audit.findings);
+    }
+
+    #[test]
+    fn analyze_bad_fixture_trips_the_panic_audit() {
+        let text = std::fs::read_to_string(fixture("analyze/bad.rs")).unwrap();
+        let crates = vec![analyze::CrateAst::from_sources(
+            "mrcc-common",
+            &[("crates/common/src/lib.rs", text.as_str())],
+        )];
+        let audit = analyze::panics::audit(&crates, "");
+        for key in [
+            "mrcc-common boom",
+            "mrcc-common outer",
+            "mrcc-common index",
+            "mrcc-common checked",
+        ] {
+            assert!(
+                audit.current.contains_key(key),
+                "`{key}` missing from {:#?}",
+                audit.current
+            );
+        }
+        // The private helper is a source but not itself a gated entry.
+        assert!(!audit.current.contains_key("mrcc-common helper"));
+    }
+
+    #[test]
+    fn workspace_analyze_is_clean() {
+        // The committed baselines (panic-baseline.txt, api/*.txt) must match
+        // the tree this test runs against — the analyze self-test.
+        let findings = analyze::run(&repo_root(), false);
+        assert!(findings.is_empty(), "{findings:#?}");
     }
 
     #[test]
