@@ -56,6 +56,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> CliResult<()> {
             resolutions,
             clusters,
             noise,
+            threads,
             json,
         } => cluster(
             &input,
@@ -65,6 +66,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> CliResult<()> {
             resolutions,
             clusters,
             noise,
+            threads,
             json,
             out,
         ),
@@ -198,6 +200,7 @@ fn cluster(
     resolutions: usize,
     clusters: Option<usize>,
     noise: f64,
+    threads: usize,
     json: bool,
     out: &mut dyn Write,
 ) -> CliResult<()> {
@@ -209,7 +212,7 @@ fn cluster(
     let start = std::time::Instant::now();
     let clustering: SubspaceClustering = match method {
         MethodChoice::MrCC => {
-            let config = MrCCConfig::with_params(alpha, resolutions);
+            let config = MrCCConfig::with_params(alpha, resolutions).with_threads(threads);
             MrCC::new(config)
                 .fit(&ds)
                 .map_err(|e| e.to_string())?

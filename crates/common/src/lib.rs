@@ -17,6 +17,8 @@
 //!   MrCC and every baseline: disjoint point sets plus per-cluster relevant
 //!   axes, with everything unassigned being noise.
 //! * CSV import/export so examples can round-trip data.
+//! * [`parallel`] — deterministic work-partitioning helpers shared by every
+//!   multi-threaded phase (sharded tree build, parallel convolution scan).
 
 pub mod bbox;
 pub mod clustering;
@@ -26,6 +28,7 @@ pub mod error;
 pub mod float;
 pub mod mask;
 pub mod num;
+pub mod parallel;
 
 pub use bbox::BoundingBox;
 pub use clustering::{SubspaceCluster, SubspaceClustering, NOISE};

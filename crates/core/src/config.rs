@@ -77,7 +77,20 @@ pub struct MrCCConfig {
     /// (paper-pure significance-only behaviour; ablation `mdl-vs-fixed`
     /// exercises this knob too).
     pub relevance_floor: f64,
+    /// Worker threads for the parallel execution mode: the Counting-tree is
+    /// built over contiguous point shards
+    /// ([`CountingTree::build_sharded`](mrcc_counting_tree::CountingTree::build_sharded))
+    /// and the per-level convolution scan fans out over cell-range chunks.
+    /// Both phases are engineered to be **bit-for-bit identical** to the
+    /// serial pipeline for every thread count, so this is purely a speed
+    /// knob. Default 1 = the exact historical serial code path.
+    pub threads: usize,
 }
+
+/// Largest accepted [`MrCCConfig::threads`] value — far above any plausible
+/// core count; a sanity bound so a typo'd thread count fails validation
+/// instead of spawning thousands of workers.
+pub const MAX_THREADS: usize = 1024;
 
 impl Default for MrCCConfig {
     fn default() -> Self {
@@ -87,6 +100,7 @@ impl Default for MrCCConfig {
             mask: MaskKind::FaceOnly,
             axis_selection: AxisSelection::Share(45.0),
             relevance_floor: 45.0,
+            threads: 1,
         }
     }
 }
@@ -125,6 +139,15 @@ impl MrCCConfig {
         self
     }
 
+    /// Returns the configuration with the worker-thread count replaced.
+    /// `1` (the default) runs the exact serial pipeline; any larger count
+    /// produces bit-identical results on multiple threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates every field.
     ///
     /// # Errors
@@ -158,6 +181,12 @@ impl MrCCConfig {
                     message: format!("share threshold must be in (0,100], got {t}"),
                 });
             }
+        }
+        if !(1..=MAX_THREADS).contains(&self.threads) {
+            return Err(Error::InvalidParameter {
+                name: "threads",
+                message: format!("must be in [1, {MAX_THREADS}], got {}", self.threads),
+            });
         }
         Ok(())
     }
@@ -224,6 +253,7 @@ impl ToJson for MrCCConfig {
                 "relevance_floor".to_string(),
                 self.relevance_floor.to_json(),
             ),
+            ("threads".to_string(), self.threads.to_json()),
         ])
     }
 }
@@ -241,6 +271,12 @@ impl FromJson for MrCCConfig {
             mask: MaskKind::from_json(field("mask")?)?,
             axis_selection: AxisSelection::from_json(field("axis_selection")?)?,
             relevance_floor: f64::from_json(field("relevance_floor")?)?,
+            // Absent in configs serialized before the parallel mode existed;
+            // default to the serial pipeline.
+            threads: match value.get("threads") {
+                Some(v) => usize::from_json(v)?,
+                None => 1,
+            },
         })
     }
 }
@@ -318,9 +354,28 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let c = MrCCConfig::default();
+        let c = MrCCConfig::default().with_threads(4);
         let json = serde_json::to_string(&c).unwrap();
         let back: MrCCConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn legacy_json_without_threads_defaults_to_serial() {
+        let json = serde_json::to_string(&MrCCConfig::default()).unwrap();
+        let stripped = json.replace(",\"threads\":1", "");
+        assert!(!stripped.contains("threads"), "{stripped}");
+        let back: MrCCConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.threads, 1);
+    }
+
+    #[test]
+    fn rejects_bad_threads() {
+        let c = MrCCConfig::default().with_threads(0);
+        assert!(c.validate().is_err());
+        let c = MrCCConfig::default().with_threads(MAX_THREADS + 1);
+        assert!(c.validate().is_err());
+        let c = MrCCConfig::default().with_threads(8);
+        assert!(c.validate().is_ok());
     }
 }

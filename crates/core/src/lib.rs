@@ -52,7 +52,7 @@ pub mod search;
 pub mod soft;
 
 pub use beta::BetaCluster;
-pub use config::{AxisSelection, MaskKind, MrCCConfig};
+pub use config::{AxisSelection, MaskKind, MrCCConfig, MAX_THREADS};
 pub use merge::CorrelationCluster;
 pub use result::{FitStats, MrCCResult};
 pub use soft::SoftClustering;
@@ -80,6 +80,11 @@ impl MrCC {
 
     /// Runs the full three-phase method over a unit-normalized dataset.
     ///
+    /// With `config.threads > 1` phases one and two run on that many worker
+    /// threads (sharded tree build, parallel convolution scan); the result
+    /// is bit-for-bit identical to a serial fit — the thread count is purely
+    /// a speed knob (see DESIGN.md, "Parallel execution").
+    ///
     /// # Errors
     /// Propagates configuration validation and Counting-tree construction
     /// errors (e.g. data outside `[0,1)` — normalize first, or use
@@ -87,7 +92,8 @@ impl MrCC {
     pub fn fit(&self, dataset: &Dataset) -> Result<MrCCResult> {
         self.config.validate()?;
         let build_start = std::time::Instant::now();
-        let mut tree = CountingTree::build(dataset, self.config.resolutions)?;
+        let mut tree =
+            CountingTree::build_sharded(dataset, self.config.resolutions, self.config.threads)?;
         let tree_build = build_start.elapsed();
         let tree_memory = tree.memory_bytes();
 

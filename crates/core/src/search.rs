@@ -13,6 +13,10 @@
 //! centre cell refined by its face neighbors. After every find the search
 //! restarts from level 2; it stops after a full sweep finds nothing.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mrcc_common::num::bounded_to_u32;
+use mrcc_common::parallel::{chunk_ranges, effective_workers};
 use mrcc_common::{AxisMask, BoundingBox};
 use mrcc_counting_tree::{Cell, CellId, CountingTree, Direction, Level};
 use mrcc_stats::{binomial_critical_value, mdl_cut};
@@ -31,6 +35,11 @@ pub const NEIGHBORHOOD_REGIONS: u64 = 6;
 pub const NULL_REGION_SHARE: f64 = 1.0 / 6.0;
 
 /// Runs the full β-cluster search over a freshly built Counting-tree.
+///
+/// With `config.threads > 1` the per-level convolution scan runs on scoped
+/// worker threads; the winner selection uses a strict total order, so the
+/// returned β-clusters are bit-identical to a serial run (see
+/// [`best_cell_at_level`]).
 pub fn find_beta_clusters(tree: &mut CountingTree, config: &MrCCConfig) -> Vec<BetaCluster> {
     let mut betas: Vec<BetaCluster> = Vec::new();
     let h_max = tree.deepest_level();
@@ -52,27 +61,107 @@ pub fn find_beta_clusters(tree: &mut CountingTree, config: &MrCCConfig) -> Vec<B
     betas
 }
 
+/// Cells per work unit of the parallel convolution scan: small enough to
+/// load-balance skewed levels across workers, large enough that the queue's
+/// atomic traffic is noise next to the convolution itself.
+const SCAN_CHUNK: usize = 1024;
+
+/// Keeps the better of two scan candidates under the **strict total order**
+/// "higher convolved value wins, ties go to the lower cell id". Because the
+/// order is total, reducing any set of candidates with it is associative and
+/// commutative — the parallel scan's reduction is deterministic no matter
+/// which worker finished which chunk first — and it reproduces the serial
+/// scan exactly (ascending iteration with "first maximum wins" *is*
+/// lowest-id-on-ties).
+fn better(a: (CellId, i64), b: (CellId, i64)) -> (CellId, i64) {
+    if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Serial scan of one contiguous arena-id range, returning the local winner.
+fn scan_range(
+    level: &Level,
+    range: std::ops::Range<usize>,
+    dims: usize,
+    betas: &[BetaCluster],
+    config: &MrCCConfig,
+) -> Option<(CellId, i64)> {
+    let side = level.side();
+    let mut best: Option<(CellId, i64)> = None;
+    for i in range {
+        let id = bounded_to_u32(i);
+        let cell = level.cell(id);
+        if cell.used() || shares_space_with_any(cell, side, dims, betas) {
+            continue;
+        }
+        let candidate = (id, convolve(level, id, dims, config.mask));
+        best = Some(match best {
+            Some(current) => better(current, candidate),
+            None => candidate,
+        });
+    }
+    best
+}
+
 /// The convolution winner at one level: the unused, non-overlapping cell with
 /// the largest convolved value, or `None` when no candidate remains.
+///
+/// With `config.threads > 1` the scan fans out over a work queue of
+/// contiguous cell-id chunks on scoped threads; the chunk results are
+/// reduced with [`better`], whose strict total order makes the outcome
+/// bit-identical to the serial scan regardless of scheduling.
 fn best_cell_at_level(
     level: &Level,
     dims: usize,
     betas: &[BetaCluster],
     config: &MrCCConfig,
 ) -> Option<CellId> {
-    let side = level.side();
-    let mut best: Option<(CellId, i64)> = None;
-    for (id, cell) in level.iter() {
-        if cell.used() || shares_space_with_any(cell, side, dims, betas) {
-            continue;
-        }
-        let value = convolve(level, id, dims, config.mask);
-        match best {
-            Some((_, bv)) if bv >= value => {}
-            _ => best = Some((id, value)),
-        }
+    let n = level.n_cells();
+    let workers = effective_workers(config.threads, n.div_ceil(SCAN_CHUNK));
+    if workers <= 1 {
+        return scan_range(level, 0..n, dims, betas, config).map(|(id, _)| id);
     }
-    best.map(|(id, _)| id)
+    let chunks = chunk_ranges(n, SCAN_CHUNK);
+    let next = AtomicUsize::new(0);
+    let locals: Vec<Option<(CellId, i64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut best: Option<(CellId, i64)> = None;
+                    loop {
+                        let claimed = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = chunks.get(claimed) else {
+                            break;
+                        };
+                        if let Some(candidate) =
+                            scan_range(level, range.clone(), dims, betas, config)
+                        {
+                            best = Some(match best {
+                                Some(current) => better(current, candidate),
+                                None => candidate,
+                            });
+                        }
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    locals
+        .into_iter()
+        .flatten()
+        .reduce(better)
+        .map(|(id, _)| id)
 }
 
 /// The cell-vs-β-cluster share-space predicate (strict interior overlap; a
@@ -284,6 +373,45 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_search_equals_serial() {
+        let ds = blob_and_noise();
+        let describe = |betas: &[BetaCluster]| {
+            betas
+                .iter()
+                .map(|b| {
+                    (
+                        b.level,
+                        b.center_coords.clone(),
+                        b.axes.iter().collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut tree = CountingTree::build(&ds, 4).unwrap();
+        let serial = find_beta_clusters(&mut tree, &MrCCConfig::default());
+        for threads in [2usize, 3, 8] {
+            let mut tree = CountingTree::build_sharded(&ds, 4, threads).unwrap();
+            let config = MrCCConfig::default().with_threads(threads);
+            let parallel = find_beta_clusters(&mut tree, &config);
+            assert_eq!(
+                describe(&parallel),
+                describe(&serial),
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_reduction_total_order() {
+        // better() prefers the higher value, breaking ties toward the lower
+        // id, from either argument position.
+        assert_eq!(better((3, 10), (7, 9)), (3, 10));
+        assert_eq!(better((7, 9), (3, 10)), (3, 10));
+        assert_eq!(better((5, 10), (2, 10)), (2, 10));
+        assert_eq!(better((2, 10), (5, 10)), (2, 10));
     }
 
     #[test]

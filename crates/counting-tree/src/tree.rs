@@ -41,10 +41,10 @@ pub const MAX_RESOLUTIONS: usize = 64;
 /// ```
 #[derive(Debug)]
 pub struct CountingTree {
-    dims: usize,
-    n_points: usize,
-    resolutions: usize,
-    levels: Vec<Level>,
+    pub(crate) dims: usize,
+    pub(crate) n_points: usize,
+    pub(crate) resolutions: usize,
+    pub(crate) levels: Vec<Level>,
 }
 
 impl CountingTree {

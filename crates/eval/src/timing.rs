@@ -3,11 +3,32 @@
 //! The paper ran every competitor with generous-but-finite budgets (a
 //! three-hour timeout for LAC, a week for P3C) and reported timeouts as
 //! missing results. [`run_with_timeout`] reproduces that policy for the
-//! experiment harness: the workload runs on a helper thread; if it misses
-//! the budget the harness moves on and the thread is left to finish in the
-//! background (documented, matching how the authors killed stragglers).
+//! experiment harness.
+//!
+//! # Timeout contract
+//!
+//! Safe Rust cannot kill a thread, so a workload that misses its budget is
+//! *detached*, not destroyed. The guarantees, in order of importance:
+//!
+//! 1. **No cross-measurement poisoning.** Every call owns a dedicated
+//!    channel; a straggler's late result is sent into that call's (by then
+//!    dropped) channel and discarded. It can never surface as the result of
+//!    a *later* `run_with_timeout` call.
+//! 2. **Cooperative early exit.** [`run_with_timeout_cancellable`] hands the
+//!    workload a [`CancelToken`] which flips to cancelled the moment the
+//!    budget expires. Workloads with a natural loop structure should poll
+//!    [`CancelToken::is_cancelled`] and return early, turning the detached
+//!    thread from a leak into a short postscript.
+//! 3. **Residual CPU interference is possible.** A non-cooperative straggler
+//!    keeps computing until it finishes on its own, and while it does it
+//!    competes for cores with whatever measurement runs next. Callers who
+//!    need pristine timings after a timeout should either use cancellable
+//!    workloads or treat the following measurement with suspicion
+//!    (the paper's authors killed straggler *processes*; in-process we can
+//!    only ask nicely).
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Runs `f` and returns its result together with the elapsed wall time.
@@ -27,7 +48,8 @@ pub enum Timeout<T> {
         /// Elapsed wall time.
         elapsed: Duration,
     },
-    /// The workload missed the budget; it keeps running detached.
+    /// The workload missed the budget; it keeps running detached (with its
+    /// [`CancelToken`] cancelled — see the module docs for the contract).
     TimedOut {
         /// The budget that was exceeded.
         budget: Duration,
@@ -49,20 +71,52 @@ impl<T> Timeout<T> {
     }
 }
 
-/// Runs `f` on a helper thread with a wall-clock budget.
+/// Cooperative cancellation handle given to budgeted workloads.
 ///
-/// On timeout the helper thread is detached (its result is dropped when it
-/// eventually finishes); the caller gets [`Timeout::TimedOut`] immediately.
-pub fn run_with_timeout<T: Send + 'static>(
+/// The harness flips the token the moment the budget expires. Long-running
+/// workloads should poll [`CancelToken::is_cancelled`] at convenient
+/// checkpoints (once per outer iteration is plenty) and bail out, so a
+/// timed-out run releases its CPU instead of computing a result nobody will
+/// read.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// True once the budget elapsed and the harness moved on.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` on a helper thread with a wall-clock budget, handing it a
+/// [`CancelToken`] that is cancelled when the budget expires.
+///
+/// See the module docs for the full timeout contract. Prefer this over
+/// [`run_with_timeout`] for workloads that can check the token — they stop
+/// consuming CPU shortly after a timeout instead of running to completion
+/// in the background.
+pub fn run_with_timeout_cancellable<T: Send + 'static>(
     budget: Duration,
-    f: impl FnOnce() -> T + Send + 'static,
+    f: impl FnOnce(&CancelToken) -> T + Send + 'static,
 ) -> Timeout<T> {
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    // One dedicated channel per call: a straggler's late send lands in this
+    // call's dropped receiver and is discarded, never in a later call's.
     let (tx, rx) = mpsc::channel();
     let start = Instant::now();
     std::thread::Builder::new()
         .name("budgeted-run".into())
         .spawn(move || {
-            let value = f();
+            let value = f(&worker_token);
             // Receiver may be gone after a timeout; that is fine.
             let _ = tx.send(value);
         })
@@ -72,8 +126,23 @@ pub fn run_with_timeout<T: Send + 'static>(
             value,
             elapsed: start.elapsed(),
         },
-        Err(_) => Timeout::TimedOut { budget },
+        Err(_) => {
+            token.cancel();
+            Timeout::TimedOut { budget }
+        }
     }
+}
+
+/// Runs `f` on a helper thread with a wall-clock budget.
+///
+/// Convenience wrapper over [`run_with_timeout_cancellable`] for workloads
+/// that cannot observe a cancel signal; on timeout such a workload keeps
+/// running detached until it finishes on its own (module docs, point 3).
+pub fn run_with_timeout<T: Send + 'static>(
+    budget: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Timeout<T> {
+    run_with_timeout_cancellable(budget, move |_| f())
 }
 
 #[cfg(test)]
@@ -105,5 +174,66 @@ mod tests {
         });
         assert!(out.timed_out());
         assert!(out.finished().is_none());
+    }
+
+    /// Contract point 1: a straggler from a timed-out call must never leak
+    /// its (late) result into a subsequent measurement — each call's channel
+    /// is private, so the next run sees exactly its own workload's value.
+    #[test]
+    fn timed_out_run_does_not_poison_next_measurement() {
+        let slow = run_with_timeout(Duration::from_millis(20), || {
+            std::thread::sleep(Duration::from_millis(200));
+            1u32 // would be a poisoned value if it ever surfaced later
+        });
+        assert!(slow.timed_out());
+        // Immediately measure again while the straggler is still running.
+        let fast = run_with_timeout(Duration::from_secs(5), || 2u32);
+        let (v, elapsed) = fast.finished().expect("fast run should finish");
+        assert_eq!(v, 2, "straggler's result leaked into a later call");
+        assert!(elapsed < Duration::from_secs(5));
+        // And once more after the straggler has surely finished and sent.
+        std::thread::sleep(Duration::from_millis(300));
+        let third = run_with_timeout(Duration::from_secs(5), || 3u32);
+        assert_eq!(third.finished().expect("should finish").0, 3);
+    }
+
+    /// Contract point 2: the token flips on timeout, and a cooperative
+    /// workload exits early instead of running to natural completion.
+    #[test]
+    fn cancel_token_stops_cooperative_straggler() {
+        let exited = Arc::new(AtomicBool::new(false));
+        let probe = exited.clone();
+        let out = run_with_timeout_cancellable(Duration::from_millis(20), move |token| {
+            // A "week-long" loop that checks the token each iteration.
+            for _ in 0..10_000 {
+                if token.is_cancelled() {
+                    probe.store(true, Ordering::Relaxed);
+                    return 0u32;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            1u32
+        });
+        assert!(out.timed_out());
+        // The straggler should notice the cancel within a few polls, far
+        // sooner than the loop's natural ~50 s runtime.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !exited.load(Ordering::Relaxed) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            exited.load(Ordering::Relaxed),
+            "cancelled workload kept running"
+        );
+    }
+
+    /// A finished run's token is never cancelled.
+    #[test]
+    fn finished_run_is_not_cancelled() {
+        let out = run_with_timeout_cancellable(Duration::from_secs(5), |token| {
+            assert!(!token.is_cancelled());
+            9u32
+        });
+        assert_eq!(out.finished().expect("should finish").0, 9);
     }
 }
