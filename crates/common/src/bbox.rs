@@ -71,8 +71,17 @@ impl BoundingBox {
 
     /// The paper's share-space predicate: true iff
     /// `U[k'][j] ≥ L[k''][j] ∧ L[k'][j] ≤ U[k''][j]` for every axis `e_j`.
+    ///
+    /// # Panics
+    /// Panics when the boxes have different dimensionality — in release
+    /// builds too; a zip over mismatched bounds would silently truncate to
+    /// the shorter box and report geometric nonsense.
     pub fn overlaps(&self, other: &BoundingBox) -> bool {
-        debug_assert_eq!(self.dims(), other.dims());
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "overlaps: box dimensionality mismatch"
+        );
         self.lower
             .iter()
             .zip(&self.upper)
@@ -89,8 +98,16 @@ impl BoundingBox {
     /// paper's `≥` formulation would chain-merge them even though their
     /// intersection has zero volume. Share-space checks therefore use this
     /// strict predicate (see DESIGN.md).
+    ///
+    /// # Panics
+    /// Panics when the boxes have different dimensionality (release builds
+    /// too, see [`BoundingBox::overlaps`]).
     pub fn overlaps_strict(&self, other: &BoundingBox) -> bool {
-        debug_assert_eq!(self.dims(), other.dims());
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "overlaps_strict: box dimensionality mismatch"
+        );
         self.lower
             .iter()
             .zip(&self.upper)
@@ -99,8 +116,18 @@ impl BoundingBox {
     }
 
     /// True when `point` lies inside the box (closed on both sides).
+    ///
+    /// # Panics
+    /// Panics when `point` has a different dimensionality than the box — in
+    /// release builds too. The former `debug_assert` let a short point
+    /// slice zip-truncate in release, so a 2-d point "fit" a 10-d box
+    /// whenever its two coordinates landed inside the first two intervals.
     pub fn contains(&self, point: &[f64]) -> bool {
-        debug_assert_eq!(self.dims(), point.len());
+        assert_eq!(
+            self.dims(),
+            point.len(),
+            "contains: point/box dimensionality mismatch"
+        );
         point
             .iter()
             .enumerate()
@@ -110,8 +137,16 @@ impl BoundingBox {
     /// Smallest box containing both inputs (the "space of a correlation
     /// cluster is the union of the spaces of its β-clusters" — we expose the
     /// hull for reporting; membership tests still use the exact union).
+    ///
+    /// # Panics
+    /// Panics when the boxes have different dimensionality (release builds
+    /// too, see [`BoundingBox::overlaps`]).
     pub fn hull(&self, other: &BoundingBox) -> BoundingBox {
-        debug_assert_eq!(self.dims(), other.dims());
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "hull: box dimensionality mismatch"
+        );
         BoundingBox {
             lower: self
                 .lower
@@ -197,5 +232,35 @@ mod tests {
     fn extent_matches_bounds() {
         let b = BoundingBox::new(vec![0.25], vec![0.75]);
         assert!((b.extent(0) - 0.5).abs() < 1e-12);
+    }
+
+    // The four guards below must hold in *release* builds too (they were
+    // `debug_assert`s once, letting a short point zip-truncate): these tests
+    // run under `cargo test --release` / the CI release profile unchanged.
+
+    #[test]
+    #[should_panic(expected = "contains: point/box dimensionality mismatch")]
+    fn contains_rejects_short_point_in_every_profile() {
+        // Pre-fix release behaviour: this 2-d point "fit" the 10-d box.
+        let b = BoundingBox::unit(10);
+        let _ = b.contains(&[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps: box dimensionality mismatch")]
+    fn overlaps_rejects_dim_mismatch_in_every_profile() {
+        let _ = BoundingBox::unit(3).overlaps(&BoundingBox::unit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps_strict: box dimensionality mismatch")]
+    fn overlaps_strict_rejects_dim_mismatch_in_every_profile() {
+        let _ = BoundingBox::unit(3).overlaps_strict(&BoundingBox::unit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "hull: box dimensionality mismatch")]
+    fn hull_rejects_dim_mismatch_in_every_profile() {
+        let _ = BoundingBox::unit(2).hull(&BoundingBox::unit(4));
     }
 }

@@ -13,6 +13,8 @@
 //!   for a cluster's *relevant axes* and for subspace bookkeeping.
 //! * [`BoundingBox`] — an axis-aligned hyper-rectangle, the geometric
 //!   description of a β-cluster / correlation cluster (matrices `L`/`U`).
+//! * [`BoxIndex`] — point-stabbing index over a set of boxes (per-axis
+//!   interval stabbing), powering the single-scan merge/labeling phase.
 //! * [`SubspaceCluster`] / [`SubspaceClustering`] — the output type shared by
 //!   MrCC and every baseline: disjoint point sets plus per-cluster relevant
 //!   axes, with everything unassigned being noise.
@@ -21,6 +23,7 @@
 //!   multi-threaded phase (sharded tree build, parallel convolution scan).
 
 pub mod bbox;
+pub mod boxindex;
 pub mod clustering;
 pub mod csv;
 pub mod dataset;
@@ -31,6 +34,7 @@ pub mod num;
 pub mod parallel;
 
 pub use bbox::BoundingBox;
+pub use boxindex::BoxIndex;
 pub use clustering::{SubspaceCluster, SubspaceClustering, NOISE};
 pub use dataset::{Dataset, NormalizeInfo};
 pub use error::{Error, Result};

@@ -53,7 +53,7 @@ pub mod soft;
 
 pub use beta::BetaCluster;
 pub use config::{AxisSelection, MaskKind, MrCCConfig, MAX_THREADS};
-pub use merge::CorrelationCluster;
+pub use merge::{dataset_scan_count, CorrelationCluster, MergeCache};
 pub use result::{FitStats, MrCCResult};
 pub use soft::SoftClustering;
 
@@ -80,10 +80,11 @@ impl MrCC {
 
     /// Runs the full three-phase method over a unit-normalized dataset.
     ///
-    /// With `config.threads > 1` phases one and two run on that many worker
-    /// threads (sharded tree build, parallel convolution scan); the result
-    /// is bit-for-bit identical to a serial fit — the thread count is purely
-    /// a speed knob (see DESIGN.md, "Parallel execution").
+    /// With `config.threads > 1` all three phases run on that many worker
+    /// threads (sharded tree build, parallel convolution scan, chunked
+    /// merge scan); the result is bit-for-bit identical to a serial fit —
+    /// the thread count is purely a speed knob (see DESIGN.md, "Parallel
+    /// execution").
     ///
     /// # Errors
     /// Propagates configuration validation and Counting-tree construction
@@ -102,13 +103,15 @@ impl MrCC {
         let beta_search = search_start.elapsed();
 
         let merge_start = std::time::Instant::now();
-        let (clusters, clustering) = merge::build_correlation_clusters(dataset, &betas);
+        let (clusters, clustering, merge_cache) =
+            merge::build_correlation_clusters(dataset, &betas, self.config.threads);
         let merge_phase = merge_start.elapsed();
 
         Ok(MrCCResult {
             clustering,
             clusters,
             beta_clusters: betas,
+            merge_cache,
             stats: FitStats {
                 tree_memory_bytes: tree_memory,
                 tree_build,

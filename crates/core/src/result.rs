@@ -5,7 +5,7 @@ use std::time::Duration;
 use mrcc_common::SubspaceClustering;
 
 use crate::beta::BetaCluster;
-use crate::merge::CorrelationCluster;
+use crate::merge::{CorrelationCluster, MergeCache};
 
 /// Phase timings and resource accounting of one fit.
 #[derive(Debug, Clone)]
@@ -38,6 +38,10 @@ pub struct MrCCResult {
     pub clusters: Vec<CorrelationCluster>,
     /// The raw β-clusters of phase two (`βk` entries), for diagnostics.
     pub beta_clusters: Vec<BetaCluster>,
+    /// Artifacts of the merge phase's single dataset pass (per-β point
+    /// counts and per-point containing-box sets), reused by
+    /// [`MrCCResult::soft_memberships`] so no consumer re-scans the dataset.
+    pub merge_cache: MergeCache,
     /// Resource accounting.
     pub stats: FitStats,
 }
@@ -69,7 +73,9 @@ impl MrCCResult {
     ///   per axis and carries at least one relevant axis;
     /// * every correlation cluster references valid β-cluster indices
     ///   (sorted, unique), its axis set covers the union of its members'
-    ///   axes, and its hull has the embedding dimensionality.
+    ///   axes, and its hull has the embedding dimensionality;
+    /// * the merge cache covers every point and every β-cluster, and each
+    ///   cached containing-box list is sorted-unique with in-range ids.
     ///
     /// Compiled only with the `strict-invariants` feature; call from tests
     /// after `fit`.
@@ -124,6 +130,27 @@ impl MrCCResult {
                 );
             }
         }
+        assert_eq!(
+            self.merge_cache.n_points(),
+            self.clustering.n_points(),
+            "invariant violated: merge cache covers the wrong point count"
+        );
+        assert_eq!(
+            self.merge_cache.n_boxes(),
+            self.beta_clusters.len(),
+            "invariant violated: merge cache covers the wrong β-cluster count"
+        );
+        for i in 0..self.merge_cache.n_points() {
+            let ids = self.merge_cache.containing(i);
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "invariant violated: point {i} containment list not sorted-unique"
+            );
+            assert!(
+                ids.iter().all(|&b| (b as usize) < self.beta_clusters.len()),
+                "invariant violated: point {i} containment references missing β-cluster"
+            );
+        }
     }
 }
 
@@ -148,6 +175,7 @@ mod tests {
             clustering: SubspaceClustering::empty(10, 3),
             clusters: Vec::new(),
             beta_clusters: Vec::new(),
+            merge_cache: MergeCache::empty(10),
             stats: FitStats {
                 tree_memory_bytes: 0,
                 tree_build: Duration::ZERO,

@@ -67,7 +67,11 @@ impl MrCCResult {
     /// from [`SoftClustering::harden`] agree with the one-cluster case of
     /// Algorithm 3.
     ///
-    /// Cost: `O(η · βk · d)` — one containment pass, like the hard labeling.
+    /// Cost: `O(η · c)` where `c` is the mean containing-box count per
+    /// point — both the per-β populations and each point's containing-box
+    /// set come from the fit's [`crate::MergeCache`], so this performs
+    /// **zero** dataset scans (a regression test pins
+    /// [`crate::dataset_scan_count`] at +0 across this call).
     ///
     /// # Panics
     /// Panics when `dataset` is not the dataset this result was fitted on
@@ -80,17 +84,13 @@ impl MrCCResult {
         );
 
         // Box densities: points inside / relevant-subspace volume. Work in
-        // log space per axis to keep tiny volumes stable.
-        let box_counts: Vec<usize> = self
-            .beta_clusters
-            .iter()
-            .map(|b| dataset.iter().filter(|p| b.bounds.contains(p)).count())
-            .collect();
+        // log space per axis to keep tiny volumes stable. Counts come from
+        // the merge pass, not a re-scan.
         let box_density: Vec<f64> = self
             .beta_clusters
             .iter()
-            .zip(&box_counts)
-            .map(|(b, &count)| {
+            .enumerate()
+            .map(|(m, b)| {
                 let mut log_volume = 0.0f64;
                 for j in b.axes.iter() {
                     log_volume += b.bounds.extent(j).max(1e-12).ln();
@@ -98,25 +98,47 @@ impl MrCCResult {
                 // Normalize per relevant axis so clusters of different
                 // dimensionality compare on the same footing.
                 let delta = b.axes.count().max(1) as f64;
-                (count.max(1) as f64).ln() - log_volume / delta
+                (self.merge_cache.box_count(m).max(1) as f64).ln() - log_volume / delta
             })
             .collect();
 
+        // Map each β-cluster to its correlation cluster for the candidate
+        // grouping below (every β belongs to exactly one cluster).
+        let mut cluster_of: Vec<usize> = vec![0; self.beta_clusters.len()];
+        for (k, cluster) in self.clusters.iter().enumerate() {
+            for &m in &cluster.beta_indices {
+                cluster_of[m] = k; // xtask-allow: indexing — members index β-clusters
+            }
+        }
+
         let mut memberships: Vec<Vec<(usize, f64)>> = Vec::with_capacity(dataset.len());
-        for p in dataset.iter() {
+        for i in 0..dataset.len() {
+            // The cached containing-box list is ascending by β index, so a
+            // stable sort by cluster reproduces the old path exactly: per
+            // cluster, densities are folded in member (β-index) order, and
+            // candidate clusters emerge in ascending cluster order.
+            let mut hits: Vec<(usize, f64)> = self
+                .merge_cache
+                .containing(i)
+                .iter()
+                // xtask-allow: indexing — containment ids index β-clusters
+                .map(|&m| (cluster_of[m as usize], box_density[m as usize]))
+                .collect();
+            hits.sort_by_key(|&(k, _)| k);
             let mut candidates: Vec<(usize, f64)> = Vec::new();
-            for (k, cluster) in self.clusters.iter().enumerate() {
-                let best: Option<f64> = cluster
-                    .beta_indices
-                    .iter()
-                    .filter(|&&m| self.beta_clusters[m].bounds.contains(p))
-                    .map(|&m| box_density[m])
-                    .max_by(|a, b| {
-                        a.partial_cmp(b)
+            for &(k, d) in &hits {
+                match candidates.last_mut() {
+                    Some((last, best)) if *last == k => {
+                        // Same tie behaviour as `Iterator::max_by`: a later
+                        // equal value replaces the earlier one.
+                        if d.partial_cmp(best)
                             .expect("box densities are finite by construction invariant")
-                    });
-                if let Some(score) = best {
-                    candidates.push((k, score));
+                            .is_ge()
+                        {
+                            *best = d;
+                        }
+                    }
+                    _ => candidates.push((k, d)),
                 }
             }
             if candidates.is_empty() {
@@ -227,6 +249,31 @@ mod tests {
                 "noise point {i} got weights"
             );
         }
+    }
+
+    #[test]
+    fn one_counting_pass_per_fit_and_none_per_soft_call() {
+        // The single-scan contract, pinned end to end: the whole merge
+        // phase of a fit reads the dataset exactly once, and
+        // soft_memberships — which used to redo the per-β counting scans —
+        // now reads it zero times.
+        let ds = overlapping_blobs();
+        let before = crate::merge::dataset_scan_count();
+        let result = MrCC::default().fit(&ds).unwrap();
+        assert_eq!(
+            crate::merge::dataset_scan_count() - before,
+            1,
+            "fit must perform exactly one merge-phase dataset pass"
+        );
+        let before = crate::merge::dataset_scan_count();
+        let soft = result.soft_memberships(&ds);
+        let _ = result.soft_memberships(&ds);
+        assert_eq!(
+            crate::merge::dataset_scan_count() - before,
+            0,
+            "soft_memberships must reuse the merge cache, not re-scan"
+        );
+        assert!(soft.n_points() == ds.len());
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn partition_cost(values: &[f64]) -> f64 {
 /// The cut index `c` ranges over `0..values.len()`; the partitions are
 /// `values[..c]` (may be empty) and `values[c..]` (never empty), matching the
 /// paper's `1 ≤ p ≤ d`. Returns the minimizing cut; ties go to the smaller
-/// cut (more axes considered relevant).
+/// cut (more axes considered relevant). Two costs within
+/// [`mrcc_common::float::approx_eq`]'s tolerance — absolute *or relative* —
+/// count as tied: an absolute-only epsilon degenerates once costs grow past
+/// `~2^40` bits, where `1e-12` drops below one ULP and pure summation-order
+/// noise would move the cut.
 ///
 /// ```
 /// use mrcc_stats::mdl_cut;
@@ -72,11 +76,13 @@ pub fn mdl_cut(values: &[f64]) -> MdlCut {
     let mut best = MdlCut {
         cut: 0,
         threshold: values[0],
-        cost: f64::INFINITY,
+        cost: partition_cost(values),
     };
-    for c in 0..values.len() {
+    for c in 1..values.len() {
         let cost = partition_cost(&values[..c]) + partition_cost(&values[c..]);
-        if cost < best.cost - 1e-12 {
+        // Strictly-and-meaningfully smaller: near-ties (absolute or
+        // relative, so large cost magnitudes behave) keep the earlier cut.
+        if cost < best.cost && !mrcc_common::float::approx_eq(cost, best.cost) {
             best = MdlCut {
                 cut: c,
                 threshold: values[c],
@@ -142,6 +148,29 @@ mod tests {
         assert!(cut.cut < o.len());
         assert_eq!(cut.threshold, o[cut.cut]);
         assert!(cut.cost.is_finite());
+    }
+
+    #[test]
+    fn large_magnitude_plateau_ties_keep_the_earlier_cut() {
+        // Three symmetric plateaus at −2^42, 0, +2^42: by symmetry the cuts
+        // at 50 (split `−A | 0,+A`) and 80 (split `−A,0 | +A`) have
+        // mathematically identical costs, but float summation order makes
+        // the later one ≈6e−12 bits cheaper. That gap sits *above* the old
+        // absolute `1e-12` epsilon — so the old rule hopped to cut 80 on
+        // pure rounding noise — yet is ~1e−15 of the ≈3.4e3-bit total cost.
+        // The relative tolerance must call it a tie and keep the earlier
+        // cut (more axes considered relevant).
+        let a = (2f64).powi(42);
+        let mut v = vec![-a; 50];
+        v.extend(std::iter::repeat_n(0.0, 30));
+        v.extend(std::iter::repeat_n(a, 50));
+        let cut = mdl_cut(&v);
+        assert_eq!(cut.cut, 50, "noise-level cost difference moved the cut");
+        // Sanity: the mirror cut really is the (noise-level) float minimum,
+        // i.e. this input does exercise the tie path rather than a genuine
+        // improvement.
+        let at = |c: usize| partition_cost(&v[..c]) + partition_cost(&v[c..]);
+        assert!(at(80) < at(50) && at(50) - at(80) < 1e-10);
     }
 
     #[test]
